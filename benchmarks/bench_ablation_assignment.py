@@ -1,0 +1,48 @@
+"""Section 3.2 ablation: greedy longest-processing-time eigen-decomposition scheduling.
+
+KAISA distributes the per-factor eigen decompositions with the LPT greedy rule
+(makespan <= 3/2 optimal).  This benchmark compares the resulting makespan
+against round-robin scheduling and against the trivial lower bound
+max(largest job, total/num_workers) on the real factor shapes of every paper
+model, and times the assignment itself (it runs once at training start).
+"""
+
+import pytest
+
+from repro.experiments import PAPER_WORKLOAD_NAMES, format_table, paper_layer_shapes
+from repro.kfac import greedy_lpt_assignment, round_robin_assignment
+
+from conftest import print_section
+
+WORLD_SIZE = 64
+
+
+def _factor_costs(name):
+    layers, _ = paper_layer_shapes(name)
+    costs = {}
+    for layer in layers:
+        costs[(layer.name, "A")] = float(layer.a_dim) ** 3
+        costs[(layer.name, "G")] = float(layer.g_dim) ** 3
+    return costs
+
+
+@pytest.mark.parametrize("name", PAPER_WORKLOAD_NAMES)
+def test_ablation_lpt_vs_round_robin(benchmark, name):
+    costs = _factor_costs(name)
+
+    result = benchmark(lambda: greedy_lpt_assignment(costs, WORLD_SIZE))
+    round_robin = round_robin_assignment(costs, WORLD_SIZE)
+    lower_bound = max(max(costs.values()), sum(costs.values()) / WORLD_SIZE)
+
+    print_section(f"Section 3.2 ablation - eigen-decomposition scheduling for {name} ({len(costs)} factors, {WORLD_SIZE} workers)")
+    rows = [
+        ["greedy LPT (KAISA)", f"{result.makespan:.3e}", round(result.makespan / lower_bound, 3)],
+        ["round robin", f"{round_robin.makespan:.3e}", round(round_robin.makespan / lower_bound, 3)],
+        ["lower bound", f"{lower_bound:.3e}", 1.0],
+    ]
+    print(format_table(["scheduler", "makespan (O(N^3) cost units)", "x lower bound"], rows))
+
+    # LPT is never worse than round robin and respects its 3/2-optimal guarantee
+    # (measured against the lower bound, which is <= the optimum).
+    assert result.makespan <= round_robin.makespan + 1e-9
+    assert result.makespan <= 1.5 * lower_bound + max(costs.values()) * 1e-9

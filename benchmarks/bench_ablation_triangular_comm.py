@@ -1,0 +1,68 @@
+"""Section 4.3 ablation: triangular factor communication.
+
+Kronecker factors are symmetric, so only the upper triangle needs to be sent
+during the factor allreduce — roughly halving the volume — at the cost of
+pack/unpack work on both sides.  The paper found this a wash for its models
+(latency-bound allreduces); this benchmark measures both effects: the
+communication-volume/time saving predicted by the cost model on ResNet-50's
+real factor shapes, and the pack/unpack overhead itself.
+"""
+
+import numpy as np
+
+from repro.distributed import PerformanceModel
+from repro.experiments import format_table, paper_workload_spec
+from repro.kfac.triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
+
+from conftest import print_section
+
+WORLD_SIZE = 64
+
+
+def test_ablation_triangular_volume_and_time(benchmark):
+    spec = paper_workload_spec("resnet50")
+    perf = PerformanceModel()
+
+    def compute():
+        full_bytes = sum((l.a_dim ** 2 + l.g_dim ** 2) * 4 for l in spec.layers)
+        packed_bytes = sum((triangular_size(l.a_dim) + triangular_size(l.g_dim)) * 4 for l in spec.layers)
+        # Per-layer allreduces: the latency term is identical, only bandwidth shrinks.
+        full_time = sum(
+            perf.allreduce_time((l.a_dim ** 2 + l.g_dim ** 2) * 4, WORLD_SIZE) for l in spec.layers
+        )
+        packed_time = sum(
+            perf.allreduce_time((triangular_size(l.a_dim) + triangular_size(l.g_dim)) * 4, WORLD_SIZE)
+            for l in spec.layers
+        )
+        return full_bytes, packed_bytes, full_time, packed_time
+
+    full_bytes, packed_bytes, full_time, packed_time = benchmark(compute)
+
+    print_section("Section 4.3 ablation - triangular factor communication (ResNet-50, 64 GPUs)")
+    rows = [
+        ["full factors", round(full_bytes / 2 ** 20, 1), round(full_time * 1000, 3)],
+        ["upper triangle only", round(packed_bytes / 2 ** 20, 1), round(packed_time * 1000, 3)],
+    ]
+    print(format_table(["variant", "allreduce volume (MB)", "allreduce time per K-FAC update (ms)"], rows))
+    volume_saving = 100.0 * (1 - packed_bytes / full_bytes)
+    time_saving = 100.0 * (1 - packed_time / full_time)
+    print(f"\nVolume saving: {volume_saving:.1f}% | time saving: {time_saving:.1f}% "
+          "(the time saving is smaller because per-layer latency is unchanged - the paper's observation)")
+
+    assert 45.0 < volume_saving < 51.0
+    assert time_saving < volume_saving
+
+
+def test_ablation_triangular_pack_unpack_overhead(benchmark):
+    """The pack/unpack cost that offsets the bandwidth saving (second reason in section 4.3)."""
+    rng = np.random.default_rng(0)
+    n = 2304  # a large ResNet-50 conv factor
+    root = rng.standard_normal((n, n)).astype(np.float32)
+    factor = root @ root.T / n
+
+    def roundtrip():
+        packed = pack_upper_triangle(factor)
+        return unpack_upper_triangle(packed, n)
+
+    restored = benchmark(roundtrip)
+    np.testing.assert_allclose(restored, factor, rtol=1e-6)

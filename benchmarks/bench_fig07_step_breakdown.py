@@ -1,0 +1,100 @@
+"""Figure 7: per-stage execution time inside KFAC.step() vs grad_worker_frac.
+
+The paper instruments KFAC.step() for ResNet-50 on 64 V100s and shows that
+factor computation/communication, eigen decomposition and gradient scaling are
+invariant to grad_worker_frac, the eigen-decomposition broadcast grows with
+the gradient-worker count (but is amortised over the 500-iteration update
+interval), gradient preconditioning grows, and the preconditioned-gradient
+broadcast shrinks to zero — and shrinks faster than preconditioning grows.
+
+Two views are produced: (a) the analytic per-stage model on the real ResNet-50
+layer shapes at world size 64, and (b) wall-clock stage timings measured with
+the StageProfiler on a real (small) model so the instrumentation path itself
+is exercised.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.experiments import format_table, paper_workload_spec
+from repro.kfac import KFAC, IterationTimeModel
+from repro.models import MLP
+from repro.profiling import StageProfiler
+from repro.tensor import Tensor
+
+from conftest import print_section
+
+WORLD_SIZE = 64
+FRACS = [1 / 64, 1 / 16, 1 / 4, 1 / 2, 1.0]
+STAGES = [
+    "factor_compute",
+    "factor_allreduce",
+    "eigen_decomposition",
+    "eigen_broadcast",
+    "precondition",
+    "grad_broadcast",
+    "scale_and_update",
+]
+
+
+def test_fig07_analytic_stage_breakdown(benchmark):
+    spec = paper_workload_spec("resnet50")
+    model = IterationTimeModel()
+
+    def sweep():
+        return {frac: model.kfac_breakdown(spec, WORLD_SIZE, frac) for frac in FRACS}
+
+    breakdowns = benchmark(sweep)
+
+    rows = []
+    for stage in STAGES:
+        rows.append([stage] + [round(getattr(breakdowns[frac], stage) * 1000, 3) for frac in FRACS])
+    headers = ["stage (ms/iter)"] + [f"frac=1/{round(1 / f)}" if f < 1 else "frac=1" for f in FRACS]
+    print_section(f"Figure 7 - KFAC.step() stage breakdown, ResNet-50, {WORLD_SIZE} GPUs (analytic)")
+    print(format_table(headers, rows))
+
+    # The paper's qualitative observations, as assertions.
+    precondition = [breakdowns[f].precondition for f in FRACS]
+    grad_bcast = [breakdowns[f].grad_broadcast for f in FRACS]
+    eigen_bcast = [breakdowns[f].eigen_broadcast for f in FRACS]
+    factor_comm = [breakdowns[f].factor_allreduce for f in FRACS]
+    assert precondition[-1] > precondition[0]
+    assert grad_bcast[-1] == 0.0 and grad_bcast[0] > 0.0
+    assert eigen_bcast[-1] > eigen_bcast[0]
+    assert max(factor_comm) - min(factor_comm) < 1e-12
+    # The broadcast saving outweighs the extra preconditioning work overall.
+    assert (grad_bcast[0] - grad_bcast[-1]) > (precondition[-1] - precondition[0]) * 0.5
+
+
+def test_fig07_measured_stage_breakdown(benchmark):
+    """Wall-clock stage timings from the live profiler hooks (small model, 30 steps)."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((512, 16)).astype(np.float32)
+    y = rng.integers(0, 5, 512)
+
+    def run():
+        model = MLP(16, [64, 64], 5, rng=np.random.default_rng(1))
+        profiler = StageProfiler()
+        preconditioner = KFAC(model, lr=0.05, factor_update_freq=5, inv_update_freq=10, profiler=profiler)
+        loss_fn = nn.CrossEntropyLoss()
+        from repro import optim
+
+        optimizer = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        for step in range(30):
+            idx = np.random.default_rng(step).integers(0, 512, 64)
+            optimizer.zero_grad()
+            loss_fn(model(Tensor(x[idx])), y[idx]).backward()
+            preconditioner.step()
+            optimizer.step()
+        return profiler
+
+    profiler = benchmark.pedantic(run, iterations=1, rounds=1)
+    summary = profiler.summary(per_call=False)
+    rows = [[stage, round(summary.get(stage, 0.0) * 1000, 3), profiler.count(stage)] for stage in STAGES]
+    print_section("Figure 7 (measured) - wall-clock totals over 30 preconditioned steps (MLP, single process)")
+    print(format_table(["stage", "total time (ms)", "calls"], rows))
+
+    # Infrequent stages run on the update intervals only; preconditioning runs every step.
+    assert profiler.count("precondition") == 30
+    assert profiler.count("eigen_decomposition") == 3
+    assert profiler.count("factor_compute") == 6

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation section (see DESIGN.md section 3 for the experiment index) and
+prints a paper-vs-measured comparison.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the printed tables; without it the numbers are still
+computed and the benchmark timings recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_section(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,112 @@
+"""MEM-OPT vs HYBRID-OPT vs COMM-OPT on the in-process distributed backend.
+
+Runs the same data-parallel KAISA training job on a 4-rank simulated world for
+each distribution strategy and shows what the paper's section 3.1 promises:
+
+* all three strategies produce *identical* final models (they are the same
+  algorithm — only memory placement and communication differ),
+* the per-rank eigen-decomposition memory grows with ``grad_worker_frac``,
+* the per-iteration broadcast volume shrinks as ``grad_worker_frac`` grows.
+
+Run with::
+
+    python examples/distributed_strategies.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import KFAC, Tensor, nn, optim
+from repro.distributed import DistributedDataParallel, PerformanceModel, ThreadedWorld
+from repro.experiments import format_table
+from repro.models import MLP
+
+WORLD_SIZE = 4
+STEPS = 12
+
+RNG = np.random.default_rng(0)
+FEATURES = RNG.standard_normal((512, 10)).astype(np.float32)
+LABELS = (FEATURES @ RNG.standard_normal((10, 4)).astype(np.float32)).argmax(axis=1)
+
+
+def run_strategy(grad_worker_frac: float):
+    """Train on a fresh 4-rank world; return (final params, per-rank memory, comm log)."""
+    world = ThreadedWorld(WORLD_SIZE, cost_model=PerformanceModel())
+    final_params = [None] * WORLD_SIZE
+    memory = [None] * WORLD_SIZE
+
+    def rank_program(rank: int) -> None:
+        comm = world.communicator(rank)
+        model = MLP(10, [32], 4, rng=np.random.default_rng(rank))
+        ddp = DistributedDataParallel(model, comm)  # broadcast rank 0's weights
+        optimizer = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        preconditioner = KFAC(
+            model, lr=0.05, factor_update_freq=2, inv_update_freq=4, grad_worker_frac=grad_worker_frac, comm=comm
+        )
+        loss_fn = nn.CrossEntropyLoss()
+        batch_rng = np.random.default_rng(7)
+        for _ in range(STEPS):
+            indices = batch_rng.integers(0, len(FEATURES), 64)
+            local = indices[rank::WORLD_SIZE]
+            optimizer.zero_grad()
+            loss_fn(model(Tensor(FEATURES[local])), LABELS[local]).backward()
+            ddp.sync_gradients()
+            preconditioner.step()
+            optimizer.step()
+        final_params[rank] = np.concatenate([p.data.ravel() for p in model.parameters()])
+        memory[rank] = preconditioner.memory_usage()
+
+    threads = [threading.Thread(target=rank_program, args=(rank,)) for rank in range(WORLD_SIZE)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return final_params, memory, world.log
+
+
+def main() -> None:
+    strategies = [("MEM-OPT", 1.0 / WORLD_SIZE), ("HYBRID-OPT", 0.5), ("COMM-OPT", 1.0)]
+    reference = None
+    rows = []
+    for name, frac in strategies:
+        params, memory, log = run_strategy(frac)
+        identical = all(np.allclose(params[0], p, atol=1e-5) for p in params[1:])
+        if reference is None:
+            reference = params[0]
+        same_as_reference = np.allclose(reference, params[0], atol=1e-4)
+        rows.append(
+            [
+                name,
+                f"{frac:.2f}",
+                "yes" if identical else "NO",
+                "yes" if same_as_reference else "NO",
+                round(sum(m["eigen"] for m in memory) / 1024, 1),
+                round(log.bytes_by_op.get("broadcast", 0) / 1024, 1),
+                round(log.bytes_by_op.get("allreduce", 0) / 1024, 1),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "strategy",
+                "grad_worker_frac",
+                "replicas identical",
+                "same result as MEM-OPT",
+                "total eigen memory (KiB)",
+                "broadcast volume (KiB)",
+                "allreduce volume (KiB)",
+            ],
+            rows,
+            title=f"{WORLD_SIZE}-rank simulated world, {STEPS} training steps",
+        )
+    )
+    print(
+        "\nAll strategies compute the same update; COMM-OPT caches every eigen decomposition everywhere "
+        "(more memory, no per-iteration broadcast), MEM-OPT does the opposite, HYBRID-OPT interpolates."
+    )
+
+
+if __name__ == "__main__":
+    main()

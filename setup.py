@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation --config-settings editable_mode=compat``) provides the
+legacy editable install path instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Synthetic datasets and data loading."""
+
+from .dataloader import DataLoader, Subset, default_collate
+from .synthetic import (
+    SpiralClassification,
+    SyntheticDetectionCrops,
+    SyntheticImageClassification,
+    SyntheticMaskedLM,
+    SyntheticSegmentation,
+)
+
+__all__ = [
+    "DataLoader",
+    "Subset",
+    "default_collate",
+    "SyntheticImageClassification",
+    "SpiralClassification",
+    "SyntheticSegmentation",
+    "SyntheticDetectionCrops",
+    "SyntheticMaskedLM",
+]

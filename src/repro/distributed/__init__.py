@@ -1,0 +1,47 @@
+"""Distributed substrate: communicators, data-parallel helpers and the cost model."""
+
+from .backend import CommEvent, CommunicationLog, Communicator, SingleProcessCommunicator
+from .cost_model import (
+    A100,
+    DGX_A100_FABRIC,
+    EDR_INFINIBAND,
+    ETHERNET_10G,
+    V100,
+    DeviceSpec,
+    NetworkSpec,
+    PerformanceModel,
+)
+from .ddp import (
+    DistributedDataParallel,
+    allreduce_gradients,
+    broadcast_parameters,
+    flatten_arrays,
+    unflatten_array,
+)
+from .sampler import DistributedSampler, shard_batch
+from .threaded import ThreadedCommunicator, ThreadedWorld, run_spmd
+
+__all__ = [
+    "Communicator",
+    "SingleProcessCommunicator",
+    "CommunicationLog",
+    "CommEvent",
+    "ThreadedWorld",
+    "ThreadedCommunicator",
+    "run_spmd",
+    "DistributedDataParallel",
+    "allreduce_gradients",
+    "broadcast_parameters",
+    "flatten_arrays",
+    "unflatten_array",
+    "DistributedSampler",
+    "shard_batch",
+    "DeviceSpec",
+    "NetworkSpec",
+    "PerformanceModel",
+    "V100",
+    "A100",
+    "EDR_INFINIBAND",
+    "DGX_A100_FABRIC",
+    "ETHERNET_10G",
+]

@@ -1,0 +1,134 @@
+"""Communicator abstractions.
+
+A :class:`Communicator` is the rank-local handle used by DDP training and by
+the K-FAC preconditioner for its collectives.  Two backends are provided:
+
+* :class:`SingleProcessCommunicator` — the ``world_size == 1`` no-op backend
+  (the "single-process" backend mentioned in paper section 3.4),
+* :class:`~repro.distributed.threaded.ThreadedWorld` — an in-process
+  multi-rank backend where every rank runs on its own thread and collectives
+  really exchange data (used to validate that all distribution strategies
+  produce identical training trajectories).
+
+Every collective is also reported to a :class:`CommunicationLog`, which both
+tracks transferred bytes per operation type and accumulates simulated
+communication time per rank using a :class:`PerformanceModel`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cost_model import PerformanceModel
+
+__all__ = ["CommEvent", "CommunicationLog", "Communicator", "SingleProcessCommunicator"]
+
+
+@dataclass
+class CommEvent:
+    """One collective operation observed by the communication log."""
+
+    op: str
+    nbytes: int
+    group_size: int
+    ranks: Tuple[int, ...]
+    simulated_time: float
+
+
+class CommunicationLog:
+    """Aggregates communication volume and simulated time per rank."""
+
+    def __init__(self, world_size: int, cost_model: Optional[PerformanceModel] = None) -> None:
+        self.world_size = world_size
+        self.cost_model = cost_model
+        self.events: List[CommEvent] = []
+        self.comm_time = np.zeros(world_size, dtype=np.float64)
+        self.compute_time = np.zeros(world_size, dtype=np.float64)
+        self.bytes_by_op: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def record_collective(self, op: str, nbytes: int, ranks: Sequence[int]) -> float:
+        """Record a collective among ``ranks``; returns the simulated time charged."""
+        ranks = tuple(ranks)
+        duration = 0.0
+        if self.cost_model is not None:
+            if op == "allreduce":
+                duration = self.cost_model.allreduce_time(nbytes, len(ranks))
+            elif op == "broadcast":
+                duration = self.cost_model.broadcast_time(nbytes, len(ranks))
+        with self._lock:
+            self.events.append(CommEvent(op=op, nbytes=nbytes, group_size=len(ranks), ranks=ranks, simulated_time=duration))
+            self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
+            for rank in ranks:
+                self.comm_time[rank] += duration
+        return duration
+
+    def record_compute(self, rank: int, seconds: float) -> None:
+        """Charge simulated local compute time to one rank."""
+        with self._lock:
+            self.compute_time[rank] += seconds
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_op.values())
+
+    def iteration_time(self) -> float:
+        """Simulated makespan: the busiest rank's compute + communication time."""
+        return float(np.max(self.comm_time + self.compute_time)) if self.world_size else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self.bytes_by_op.clear()
+            self.comm_time[:] = 0.0
+            self.compute_time[:] = 0.0
+
+
+class Communicator:
+    """Rank-local interface for collective communication."""
+
+    @property
+    def rank(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def world_size(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def allreduce_average(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def broadcast(self, array: Optional[np.ndarray], src: int, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+
+class SingleProcessCommunicator(Communicator):
+    """No-op communicator for single-process training (world size 1)."""
+
+    def __init__(self, log: Optional[CommunicationLog] = None) -> None:
+        self.log = log if log is not None else CommunicationLog(world_size=1)
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def world_size(self) -> int:
+        return 1
+
+    def allreduce_average(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        return array
+
+    def broadcast(self, array: Optional[np.ndarray], src: int, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        if array is None:
+            raise ValueError("broadcast source value must be provided on the source rank")
+        return array
+
+    def barrier(self) -> None:
+        return None

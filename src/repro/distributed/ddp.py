@@ -1,0 +1,95 @@
+"""Data-parallel training helpers (the DistributedDataParallel analogue).
+
+Gradients are averaged across ranks with a single flattened allreduce after
+the backward pass, mirroring the bucketed allreduce of
+``torch.nn.parallel.DistributedDataParallel`` that the paper uses for the
+first-order (data-parallel) part of training (Figure 3, blue boxes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from .backend import Communicator
+
+__all__ = ["flatten_arrays", "unflatten_array", "allreduce_gradients", "broadcast_parameters", "DistributedDataParallel"]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate arrays into a single flat float32 buffer."""
+    if not arrays:
+        return np.zeros(0, dtype=np.float32)
+    return np.concatenate([np.asarray(a, dtype=np.float32).reshape(-1) for a in arrays])
+
+
+def unflatten_array(flat: np.ndarray, shapes: Sequence[tuple]) -> List[np.ndarray]:
+    """Split a flat buffer back into arrays of the given shapes."""
+    out: List[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        count = int(np.prod(shape)) if shape else 1
+        out.append(flat[offset : offset + count].reshape(shape))
+        offset += count
+    if offset != flat.size:
+        raise ValueError("flat buffer size does not match the provided shapes")
+    return out
+
+
+def allreduce_gradients(model: Module, comm: Communicator) -> None:
+    """Average all parameter gradients across the world (one flattened allreduce)."""
+    if comm.world_size == 1:
+        return
+    params = [p for p in model.parameters() if p.grad is not None]
+    if not params:
+        return
+    flat = flatten_arrays([p.grad for p in params])
+    reduced = comm.allreduce_average(flat)
+    for param, grad in zip(params, unflatten_array(reduced, [p.grad.shape for p in params])):
+        param.grad = grad.astype(np.float32)
+
+
+def broadcast_parameters(model: Module, comm: Communicator, src: int = 0) -> None:
+    """Broadcast rank ``src``'s parameters to every rank (initial replica synchronization)."""
+    if comm.world_size == 1:
+        return
+    params = list(model.parameters())
+    flat_src = flatten_arrays([p.data for p in params]) if comm.rank == src else None
+    flat = comm.broadcast(flat_src, src=src)
+    for param, data in zip(params, unflatten_array(flat, [p.data.shape for p in params])):
+        param.data = data.astype(param.data.dtype).reshape(param.data.shape)
+
+
+class DistributedDataParallel:
+    """Thin wrapper bundling a model replica with its communicator.
+
+    Usage mirrors the paper's Listing 1: construct once, call the model as
+    usual, then call :meth:`sync_gradients` after ``loss.backward()`` and
+    before the preconditioner / optimizer step.
+    """
+
+    def __init__(self, model: Module, comm: Communicator, broadcast_initial: bool = True) -> None:
+        self.module = model
+        self.comm = comm
+        if broadcast_initial:
+            broadcast_parameters(model, comm, src=0)
+
+    def __call__(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def parameters(self):
+        return self.module.parameters()
+
+    def train(self, mode: bool = True) -> "DistributedDataParallel":
+        self.module.train(mode)
+        return self
+
+    def eval(self) -> "DistributedDataParallel":
+        self.module.eval()
+        return self
+
+    def sync_gradients(self) -> None:
+        """Allreduce-average gradients across all ranks."""
+        allreduce_gradients(self.module, self.comm)

@@ -1,0 +1,212 @@
+"""In-process multi-rank backend: one thread per rank, real data exchange.
+
+Each rank runs the same SPMD program on its own thread (exactly as each GPU
+process would with ``torch.distributed``).  Collectives rendezvous through a
+shared slot table keyed by ``(group, per-group sequence number)``: all ranks
+in a group issue their collectives in the same order, so matching calls find
+each other without any global coordinator.  The backend moves real NumPy data
+(so correctness properties such as "all replicas stay bit-identical" can be
+tested) and reports every collective to the :class:`CommunicationLog` so the
+simulated cluster time can be accounted with a :class:`PerformanceModel`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .backend import CommunicationLog, Communicator
+from .cost_model import PerformanceModel
+
+__all__ = ["ThreadedWorld", "ThreadedCommunicator", "run_spmd"]
+
+
+class _CollectiveSlot:
+    """Rendezvous point for a single collective operation."""
+
+    def __init__(self, group_size: int) -> None:
+        self.group_size = group_size
+        self.values: Dict[int, np.ndarray] = {}
+        self.result: Optional[np.ndarray] = None
+        self.ready = threading.Event()
+        self.consumed = 0
+
+
+class ThreadedWorld:
+    """Shared state for an in-process world of ``world_size`` ranks."""
+
+    def __init__(self, world_size: int, cost_model: Optional[PerformanceModel] = None, timeout: float = 60.0) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.timeout = timeout
+        self.log = CommunicationLog(world_size, cost_model)
+        self._lock = threading.Lock()
+        self._slots: Dict[Tuple, _CollectiveSlot] = {}
+        self._barrier = threading.Barrier(world_size)
+
+    def communicator(self, rank: int) -> "ThreadedCommunicator":
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+        return ThreadedCommunicator(self, rank)
+
+    # ------------------------------------------------------------- internals
+    def _slot(self, key: Tuple, group_size: int) -> _CollectiveSlot:
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is None:
+                slot = _CollectiveSlot(group_size)
+                self._slots[key] = slot
+            return slot
+
+    def _release(self, key: Tuple, slot: _CollectiveSlot) -> None:
+        with self._lock:
+            slot.consumed += 1
+            if slot.consumed >= slot.group_size:
+                self._slots.pop(key, None)
+
+    def run_collective(
+        self,
+        op: str,
+        key: Tuple,
+        rank: int,
+        group: Tuple[int, ...],
+        value: Optional[np.ndarray],
+        reducer: Optional[Callable[[List[np.ndarray]], np.ndarray]],
+        src: Optional[int] = None,
+    ) -> np.ndarray:
+        """Generic rendezvous: post ``value``, wait for the group, return the result."""
+        slot = self._slot(key, len(group))
+        is_producer_complete = False
+        with self._lock:
+            if value is not None:
+                slot.values[rank] = value
+            if reducer is not None:
+                is_producer_complete = len(slot.values) == len(group)
+            else:
+                is_producer_complete = src in slot.values
+            if is_producer_complete and not slot.ready.is_set():
+                if reducer is not None:
+                    ordered = [slot.values[r] for r in sorted(slot.values)]
+                    slot.result = reducer(ordered)
+                else:
+                    slot.result = slot.values[src]
+                nbytes = int(slot.result.nbytes) if isinstance(slot.result, np.ndarray) else 0
+                self_log_ranks = group
+                slot.ready.set()
+                # Record once per collective (by the completing rank).
+                self.log.record_collective(op, nbytes, self_log_ranks)
+        if not slot.ready.wait(self.timeout):
+            raise TimeoutError(f"collective {op} {key} timed out on rank {rank}")
+        result = slot.result
+        self._release(key, slot)
+        return np.array(result, copy=True)
+
+    def barrier(self) -> None:
+        self._barrier.wait(self.timeout)
+
+
+class ThreadedCommunicator(Communicator):
+    """Rank-local handle onto a :class:`ThreadedWorld`."""
+
+    def __init__(self, world: ThreadedWorld, rank: int) -> None:
+        self._world = world
+        self._rank = rank
+        # Per-group sequence counters generate matching keys across ranks.
+        self._sequence: Dict[Tuple[int, ...], int] = {}
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def world_size(self) -> int:
+        return self._world.world_size
+
+    @property
+    def log(self) -> CommunicationLog:
+        return self._world.log
+
+    def _next_key(self, group: Tuple[int, ...]) -> Tuple:
+        count = self._sequence.get(group, 0)
+        self._sequence[group] = count + 1
+        return (group, count)
+
+    def _normalize_group(self, group: Optional[Sequence[int]]) -> Tuple[int, ...]:
+        if group is None:
+            return tuple(range(self.world_size))
+        normalized = tuple(sorted(set(int(r) for r in group)))
+        if self._rank not in normalized:
+            raise ValueError(f"rank {self._rank} is not part of group {normalized}")
+        return normalized
+
+    def allreduce_average(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        group_t = self._normalize_group(group)
+        if len(group_t) == 1:
+            return array
+        key = ("allreduce",) + self._next_key(group_t)
+        result = self._world.run_collective(
+            "allreduce",
+            key,
+            self._rank,
+            group_t,
+            np.asarray(array),
+            reducer=lambda values: np.mean(np.stack(values, axis=0), axis=0).astype(values[0].dtype),
+        )
+        return result
+
+    def allreduce_sum(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        group_t = self._normalize_group(group)
+        if len(group_t) == 1:
+            return array
+        key = ("allreduce",) + self._next_key(group_t)
+        return self._world.run_collective(
+            "allreduce",
+            key,
+            self._rank,
+            group_t,
+            np.asarray(array),
+            reducer=lambda values: np.sum(np.stack(values, axis=0), axis=0).astype(values[0].dtype),
+        )
+
+    def broadcast(self, array: Optional[np.ndarray], src: int, group: Optional[Sequence[int]] = None) -> np.ndarray:
+        group_t = self._normalize_group(group)
+        if len(group_t) == 1:
+            if array is None:
+                raise ValueError("broadcast source value must be provided on the source rank")
+            return array
+        key = ("broadcast",) + self._next_key(group_t)
+        value = np.asarray(array) if (array is not None and self._rank == src) else None
+        return self._world.run_collective("broadcast", key, self._rank, group_t, value, reducer=None, src=src)
+
+    def barrier(self) -> None:
+        self._world.barrier()
+
+
+def run_spmd(world_size: int, fn: Callable[[ThreadedCommunicator], object], cost_model: Optional[PerformanceModel] = None) -> List[object]:
+    """Run ``fn(comm)`` on every rank of a fresh :class:`ThreadedWorld` and collect results.
+
+    Exceptions raised on any rank are re-raised in the caller after all
+    threads have finished (so a failing rank cannot silently hang the test).
+    """
+    world = ThreadedWorld(world_size, cost_model=cost_model)
+    results: List[object] = [None] * world_size
+    errors: List[Optional[BaseException]] = [None] * world_size
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = fn(world.communicator(rank))
+        except BaseException as exc:  # noqa: BLE001 - propagate to the main thread
+            errors[rank] = exc
+
+    threads = [threading.Thread(target=target, args=(rank,), daemon=True) for rank in range(world_size)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for rank, error in enumerate(errors):
+        if error is not None:
+            raise RuntimeError(f"rank {rank} failed") from error
+    return results

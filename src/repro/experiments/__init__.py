@@ -1,0 +1,50 @@
+"""Experiment configurations, workloads and the reproduction harness."""
+
+from .configs import (
+    PAPER_BASELINES,
+    PAPER_HYPERPARAMETERS,
+    PAPER_RESULTS,
+    SMALL_WORKLOADS,
+    BaselineSpec,
+    HyperparameterSpec,
+    SmallWorkloadConfig,
+)
+from .harness import (
+    ConvergenceResult,
+    run_convergence_comparison,
+    scaling_projection,
+    sweep_grad_worker_frac,
+)
+from .model_shapes import (
+    PAPER_WORKLOAD_NAMES,
+    collect_layer_shapes,
+    paper_layer_shapes,
+    paper_workload_spec,
+)
+from .reporting import ascii_curve, format_markdown_table, format_table
+from .workloads import WORKLOAD_BUILDERS, TrainableWorkload, build_workload, make_optimizer
+
+__all__ = [
+    "BaselineSpec",
+    "HyperparameterSpec",
+    "SmallWorkloadConfig",
+    "PAPER_BASELINES",
+    "PAPER_HYPERPARAMETERS",
+    "PAPER_RESULTS",
+    "SMALL_WORKLOADS",
+    "TrainableWorkload",
+    "build_workload",
+    "make_optimizer",
+    "WORKLOAD_BUILDERS",
+    "ConvergenceResult",
+    "run_convergence_comparison",
+    "sweep_grad_worker_frac",
+    "scaling_projection",
+    "collect_layer_shapes",
+    "paper_layer_shapes",
+    "paper_workload_spec",
+    "PAPER_WORKLOAD_NAMES",
+    "format_table",
+    "format_markdown_table",
+    "ascii_curve",
+]

@@ -1,0 +1,59 @@
+"""Plain-text and markdown table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "ascii_curve"]
+
+
+def _stringify(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def ascii_curve(values: Sequence[float], width: int = 60, height: int = 10, label: str = "") -> str:
+    """Tiny ASCII line plot for validation-metric curves in benchmark output."""
+    if not values:
+        return f"{label}(empty curve)"
+    lo, hi = min(values), max(values)
+    span = hi - lo if hi > lo else 1.0
+    columns = min(width, len(values))
+    # Resample to the plot width.
+    indices = [int(round(i * (len(values) - 1) / max(columns - 1, 1))) for i in range(columns)]
+    sampled = [values[i] for i in indices]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        row = "".join("*" if value >= threshold else " " for value in sampled)
+        rows.append(f"{threshold:8.3f} |{row}")
+    header = f"{label}  (min={lo:.3f}, max={hi:.3f})"
+    return "\n".join([header] + rows)

@@ -1,0 +1,43 @@
+"""KAISA: the adaptable distributed K-FAC preconditioner (the paper's core contribution)."""
+
+from .analysis import IterationBreakdown, IterationTimeModel, KFACWorkloadSpec
+from .assignment import AssignmentResult, greedy_lpt_assignment, makespan, round_robin_assignment
+from .kmath import (
+    EigenDecomposition,
+    damped_inverse,
+    kl_clip_scale,
+    precondition_with_eigen,
+    precondition_with_inverse,
+    symmetric_eigen,
+)
+from .layers import KFACConv2dLayer, KFACLayer, KFACLinearLayer, make_kfac_layer
+from .preconditioner import KFAC
+from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
+from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
+
+__all__ = [
+    "KFAC",
+    "DistributionStrategy",
+    "LayerShapeInfo",
+    "LayerWorkGroups",
+    "KFACLayer",
+    "KFACLinearLayer",
+    "KFACConv2dLayer",
+    "make_kfac_layer",
+    "EigenDecomposition",
+    "symmetric_eigen",
+    "precondition_with_eigen",
+    "precondition_with_inverse",
+    "damped_inverse",
+    "kl_clip_scale",
+    "greedy_lpt_assignment",
+    "round_robin_assignment",
+    "makespan",
+    "AssignmentResult",
+    "pack_upper_triangle",
+    "unpack_upper_triangle",
+    "triangular_size",
+    "IterationTimeModel",
+    "IterationBreakdown",
+    "KFACWorkloadSpec",
+]

@@ -1,0 +1,237 @@
+"""Analytic iteration-time model for distributed K-FAC (Figures 6, 7 and 8).
+
+The paper measures average iteration time and the per-stage breakdown of
+``KFAC.step()`` on 64 V100 GPUs, and projects end-to-end speedups up to 128
+A100s.  This module regenerates those results from first principles: given
+the layer shapes of a model, a distribution strategy, the K-FAC update
+frequencies and a :class:`PerformanceModel`, it computes per-rank time for
+every stage of Figure 3 and reports the busiest rank (the makespan) as the
+iteration time.  Infrequent stages (factor update, eigen decomposition) are
+amortised over their update intervals exactly as the paper's averages are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..distributed.cost_model import PerformanceModel
+from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
+
+__all__ = ["KFACWorkloadSpec", "IterationBreakdown", "IterationTimeModel"]
+
+
+@dataclass(frozen=True)
+class KFACWorkloadSpec:
+    """Everything the iteration-time model needs to know about one application."""
+
+    name: str
+    layers: Sequence[LayerShapeInfo]
+    param_count: int  # total trainable parameters (for the gradient allreduce)
+    local_batch_size: int
+    baseline_compute_time: float  # forward+backward+update time per iteration, per rank (s)
+    factor_update_freq: int  # F_freq in Table 2
+    inv_update_freq: int  # K_freq in Table 2
+    samples_per_input: float = 1.0  # rows contributed to the factors per example (spatial positions for convs)
+    grad_dtype_bytes: int = 4
+    factor_dtype_bytes: int = 4
+    eigen_dtype_bytes: int = 4
+    grad_accumulation_steps: int = 1
+
+    @property
+    def factor_bytes(self) -> int:
+        """Total bytes of all Kronecker factors (A and G for every layer)."""
+        return sum((l.a_dim ** 2 + l.g_dim ** 2) * self.factor_dtype_bytes for l in self.layers)
+
+    @property
+    def eigen_bytes_per_layer(self) -> Dict[str, int]:
+        out = {}
+        for l in self.layers:
+            out[l.name] = (l.a_dim ** 2 + l.a_dim + l.g_dim ** 2 + l.g_dim + l.a_dim * l.g_dim) * self.eigen_dtype_bytes
+        return out
+
+    @property
+    def gradient_bytes(self) -> int:
+        return self.param_count * self.grad_dtype_bytes
+
+
+@dataclass
+class IterationBreakdown:
+    """Per-iteration (amortised) time of each stage, for the busiest rank."""
+
+    baseline_compute: float = 0.0
+    gradient_allreduce: float = 0.0
+    factor_compute: float = 0.0
+    factor_allreduce: float = 0.0
+    eigen_decomposition: float = 0.0
+    eigen_broadcast: float = 0.0
+    precondition: float = 0.0
+    grad_broadcast: float = 0.0
+    scale_and_update: float = 0.0
+
+    @property
+    def kfac_overhead(self) -> float:
+        """Per-iteration K-FAC overhead (everything except the baseline stages)."""
+        return (
+            self.factor_compute
+            + self.factor_allreduce
+            + self.eigen_decomposition
+            + self.eigen_broadcast
+            + self.precondition
+            + self.grad_broadcast
+            + self.scale_and_update
+        )
+
+    @property
+    def total(self) -> float:
+        return self.baseline_compute + self.gradient_allreduce + self.kfac_overhead
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "baseline_compute": self.baseline_compute,
+            "gradient_allreduce": self.gradient_allreduce,
+            "factor_compute": self.factor_compute,
+            "factor_allreduce": self.factor_allreduce,
+            "eigen_decomposition": self.eigen_decomposition,
+            "eigen_broadcast": self.eigen_broadcast,
+            "precondition": self.precondition,
+            "grad_broadcast": self.grad_broadcast,
+            "scale_and_update": self.scale_and_update,
+        }
+
+
+class IterationTimeModel:
+    """Computes per-rank stage times and iteration makespans for KAISA runs."""
+
+    def __init__(self, perf: Optional[PerformanceModel] = None) -> None:
+        self.perf = perf if perf is not None else PerformanceModel()
+
+    # ------------------------------------------------------------ baseline
+    def baseline_iteration_time(self, spec: KFACWorkloadSpec, world_size: int) -> float:
+        """Iteration time of the original (first-order) optimizer: compute + gradient allreduce."""
+        allreduce = self.perf.allreduce_time(spec.gradient_bytes, world_size) / max(spec.grad_accumulation_steps, 1)
+        return spec.baseline_compute_time + allreduce
+
+    # ---------------------------------------------------------------- KAISA
+    def stage_times_per_rank(
+        self, spec: KFACWorkloadSpec, world_size: int, grad_worker_frac: float
+    ) -> Dict[str, np.ndarray]:
+        """Amortised per-iteration time of every K-FAC stage, per rank."""
+        strategy = DistributionStrategy(world_size, grad_worker_frac)
+        groups = strategy.assign(list(spec.layers))
+        comm_opt = strategy.num_grad_workers >= world_size
+        ranks = np.arange(world_size)
+        f_freq = max(spec.factor_update_freq, 1)
+        k_freq = max(spec.inv_update_freq, 1)
+        dtype_b = spec.factor_dtype_bytes
+
+        times: Dict[str, np.ndarray] = {
+            name: np.zeros(world_size)
+            for name in (
+                "factor_compute",
+                "factor_allreduce",
+                "eigen_decomposition",
+                "eigen_broadcast",
+                "precondition",
+                "grad_broadcast",
+                "scale_and_update",
+            )
+        }
+
+        # --- factor computation (data-parallel, identical on every rank) ----
+        rows = spec.local_batch_size * spec.samples_per_input
+        factor_flops = sum(2.0 * rows * (l.a_dim ** 2 + l.g_dim ** 2) for l in spec.layers)
+        times["factor_compute"][:] = self.perf.compute_time(factor_flops, dtype_b) / f_freq
+
+        # --- factor allreduce (all ranks, bucketed into one volume) ---------
+        times["factor_allreduce"][:] = self.perf.allreduce_time(spec.factor_bytes, world_size) / f_freq
+
+        eigen_bytes = spec.eigen_bytes_per_layer
+        for layer in spec.layers:
+            group = groups[layer.name]
+            # --- eigen decomposition (assigned workers only) ----------------
+            time_a = self.perf.eigen_decomposition_time(layer.a_dim, dtype_b)
+            time_g = self.perf.eigen_decomposition_time(layer.g_dim, dtype_b)
+            times["eigen_decomposition"][group.eigen_worker_a] += time_a / k_freq
+            times["eigen_decomposition"][group.eigen_worker_g] += time_g / k_freq
+
+            # --- eigen broadcast --------------------------------------------
+            if comm_opt:
+                bytes_a = layer.a_dim ** 2 * spec.eigen_dtype_bytes
+                bytes_g = layer.g_dim ** 2 * spec.eigen_dtype_bytes
+                duration = self.perf.broadcast_time(bytes_a, world_size) + self.perf.broadcast_time(bytes_g, world_size)
+                times["eigen_broadcast"] += duration / k_freq
+            else:
+                group_size = len(group.grad_workers)
+                duration = self.perf.broadcast_time(eigen_bytes[layer.name], group_size)
+                for rank in group.grad_workers:
+                    times["eigen_broadcast"][rank] += duration / k_freq
+
+            # --- gradient preconditioning (gradient workers, every iteration)
+            precondition_flops = 2.0 * (
+                self.perf.matmul_flops(layer.g_dim, layer.a_dim, layer.g_dim)
+                + self.perf.matmul_flops(layer.g_dim, layer.a_dim, layer.a_dim)
+            )
+            duration = self.perf.compute_time(precondition_flops, dtype_b)
+            for rank in group.grad_workers:
+                times["precondition"][rank] += duration
+
+            # --- preconditioned-gradient broadcast (every iteration) --------
+            if not comm_opt:
+                grad_bytes = layer.grad_numel * spec.grad_dtype_bytes
+                for worker in group.grad_workers:
+                    receivers = group.receivers_of(worker)
+                    if not receivers:
+                        continue
+                    duration = self.perf.broadcast_time(grad_bytes, 1 + len(receivers))
+                    times["grad_broadcast"][worker] += duration
+                    for receiver in receivers:
+                        times["grad_broadcast"][receiver] += duration
+
+            # --- scaling / writing the update back --------------------------
+            times["scale_and_update"] += self.perf.compute_time(4.0 * layer.grad_numel, dtype_b)
+
+        return times
+
+    def kfac_breakdown(
+        self, spec: KFACWorkloadSpec, world_size: int, grad_worker_frac: float
+    ) -> IterationBreakdown:
+        """Stage breakdown for the busiest rank (the paper's reported averages)."""
+        per_rank = self.stage_times_per_rank(spec, world_size, grad_worker_frac)
+        totals = np.zeros(world_size)
+        for values in per_rank.values():
+            totals += values
+        busiest = int(np.argmax(totals))
+        gradient_allreduce = self.perf.allreduce_time(spec.gradient_bytes, world_size) / max(
+            spec.grad_accumulation_steps, 1
+        )
+        return IterationBreakdown(
+            baseline_compute=spec.baseline_compute_time,
+            gradient_allreduce=gradient_allreduce,
+            factor_compute=float(per_rank["factor_compute"][busiest]),
+            factor_allreduce=float(per_rank["factor_allreduce"][busiest]),
+            eigen_decomposition=float(per_rank["eigen_decomposition"][busiest]),
+            eigen_broadcast=float(per_rank["eigen_broadcast"][busiest]),
+            precondition=float(per_rank["precondition"][busiest]),
+            grad_broadcast=float(per_rank["grad_broadcast"][busiest]),
+            scale_and_update=float(per_rank["scale_and_update"][busiest]),
+        )
+
+    def kaisa_iteration_time(self, spec: KFACWorkloadSpec, world_size: int, grad_worker_frac: float) -> float:
+        """Average KAISA iteration time (baseline + amortised K-FAC overhead)."""
+        return self.kfac_breakdown(spec, world_size, grad_worker_frac).total
+
+    def speedup_over_baseline(
+        self,
+        spec: KFACWorkloadSpec,
+        world_size: int,
+        grad_worker_frac: float,
+        baseline_iterations: int,
+        kaisa_iterations: int,
+    ) -> float:
+        """Projected end-to-end speedup (Figure 8): iteration counts x iteration times."""
+        baseline_total = baseline_iterations * self.baseline_iteration_time(spec, world_size)
+        kaisa_total = kaisa_iterations * self.kaisa_iteration_time(spec, world_size, grad_worker_frac)
+        return baseline_total / kaisa_total

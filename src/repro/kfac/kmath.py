@@ -1,0 +1,144 @@
+"""Numerical kernels for K-FAC preconditioning.
+
+Implements the paper's equations:
+
+* Eq. 9   — Kronecker factors ``A = a aᵀ`` and ``G = g gᵀ`` (built in
+  :mod:`repro.kfac.layers`),
+* Eq. 12  — damped inverse ``(F̂ + γI)⁻¹ = (A + γI)⁻¹ ⊗ (G + γI)⁻¹``,
+* Eqs. 15–17 — the eigen-decomposition preconditioning path used by KAISA,
+  including the cached eigenvalue outer product ``1/(v_G v_Aᵀ + γ)`` that
+  section 4.4 moves into the (infrequent) eigen-decomposition stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg as sla
+
+__all__ = [
+    "EigenDecomposition",
+    "symmetric_eigen",
+    "precondition_with_eigen",
+    "precondition_with_inverse",
+    "damped_inverse",
+    "kl_clip_scale",
+]
+
+
+@dataclass
+class EigenDecomposition:
+    """Eigenvectors and eigenvalues of a symmetric Kronecker factor."""
+
+    eigenvectors: np.ndarray  # (n, n), columns are eigenvectors
+    eigenvalues: np.ndarray  # (n,)
+
+    @property
+    def nbytes(self) -> int:
+        return self.eigenvectors.nbytes + self.eigenvalues.nbytes
+
+    def astype(self, dtype) -> "EigenDecomposition":
+        return EigenDecomposition(self.eigenvectors.astype(dtype), self.eigenvalues.astype(dtype))
+
+
+def symmetric_eigen(factor: np.ndarray, compute_dtype=np.float32, clamp_negative: bool = True) -> EigenDecomposition:
+    """Eigen-decompose a symmetric Kronecker factor.
+
+    Factors are symmetric positive semi-definite by construction (Eq. 9), so
+    eigenvalues are real and eigenvectors orthogonal; tiny negative
+    eigenvalues caused by floating-point round-off are clamped to zero.  Per
+    paper section 3.3, the decomposition is always computed in at least
+    single precision even when factors are stored in fp16.
+    """
+    if factor.ndim != 2 or factor.shape[0] != factor.shape[1]:
+        raise ValueError(f"factor must be square, got shape {factor.shape}")
+    work = factor.astype(compute_dtype, copy=False)
+    # Symmetrize to protect against accumulation drift before decomposition.
+    work = 0.5 * (work + work.T)
+    eigenvalues, eigenvectors = sla.eigh(work.astype(np.float64))
+    if clamp_negative:
+        eigenvalues = np.maximum(eigenvalues, 0.0)
+    return EigenDecomposition(
+        eigenvectors=eigenvectors.astype(compute_dtype),
+        eigenvalues=eigenvalues.astype(compute_dtype),
+    )
+
+
+def eigenvalue_outer_product(
+    eig_a: EigenDecomposition, eig_g: EigenDecomposition, damping: float, dtype=np.float32
+) -> np.ndarray:
+    """Precompute ``1 / (v_G v_Aᵀ + γ)`` (paper section 4.4).
+
+    The result has shape ``(dim_G, dim_A)`` and only changes when the eigen
+    decompositions are updated, so computing it once per K-FAC update (and
+    broadcasting it instead of the raw eigenvalues) removes redundant work
+    from every per-iteration preconditioning call.
+    """
+    v_g = eig_g.eigenvalues.astype(np.float64)
+    v_a = eig_a.eigenvalues.astype(np.float64)
+    outer = np.outer(v_g, v_a) + float(damping)
+    return (1.0 / outer).astype(dtype)
+
+
+def precondition_with_eigen(
+    grad: np.ndarray,
+    eig_a: EigenDecomposition,
+    eig_g: EigenDecomposition,
+    damping: float,
+    inverse_outer: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Precondition a gradient matrix with the eigen decomposition path (Eqs. 15-17).
+
+    Parameters
+    ----------
+    grad:
+        Gradient matrix of shape ``(dim_G, dim_A)`` — for a Linear layer this
+        is ``(out_features, in_features[+1])`` with the bias column folded in.
+    eig_a, eig_g:
+        Eigen decompositions of the ``A`` and ``G`` Kronecker factors.
+    damping:
+        Tikhonov damping ``γ``.
+    inverse_outer:
+        Optional cached ``1/(v_G v_Aᵀ + γ)``; recomputed if not provided.
+    """
+    q_a = eig_a.eigenvectors.astype(np.float32)
+    q_g = eig_g.eigenvectors.astype(np.float32)
+    grad32 = grad.astype(np.float32)
+    v1 = q_g.T @ grad32 @ q_a  # Eq. 15
+    if inverse_outer is None:
+        inverse_outer = eigenvalue_outer_product(eig_a, eig_g, damping)
+    v2 = v1 * inverse_outer.astype(np.float32)  # Eq. 16
+    return (q_g @ v2 @ q_a.T).astype(grad.dtype)  # Eq. 17
+
+
+def damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
+    """Return ``(factor + γI)⁻¹`` (the inverse path, Eq. 12)."""
+    n = factor.shape[0]
+    damped = factor.astype(np.float64) + damping * np.eye(n)
+    return np.linalg.inv(damped).astype(np.float32)
+
+
+def precondition_with_inverse(grad: np.ndarray, inv_a: np.ndarray, inv_g: np.ndarray) -> np.ndarray:
+    """Precondition with explicit inverses: ``G⁻¹ ∇L A⁻¹`` (Eq. 11)."""
+    return (inv_g.astype(np.float32) @ grad.astype(np.float32) @ inv_a.astype(np.float32)).astype(grad.dtype)
+
+
+def kl_clip_scale(
+    grads_and_precond: list[Tuple[np.ndarray, np.ndarray]], lr: float, kl_clip: float
+) -> float:
+    """Scale factor bounding the KL divergence of the preconditioned update.
+
+    Following the standard distributed K-FAC implementations (Osawa 2019,
+    Pauloski 2020), the preconditioned gradients are rescaled by
+    ``nu = min(1, sqrt(kl_clip / (lr^2 * sum <precond, grad>)))`` so a large
+    second-order step cannot blow up early training.
+    """
+    total = 0.0
+    for grad, precond in grads_and_precond:
+        total += float(np.sum(grad.astype(np.float64) * precond.astype(np.float64)))
+    total *= lr * lr
+    if total <= 0.0:
+        return 1.0
+    return min(1.0, float(np.sqrt(kl_clip / total)))

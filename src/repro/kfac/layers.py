@@ -1,0 +1,359 @@
+"""Per-layer K-FAC handlers: factor computation and gradient preconditioning.
+
+Each supported module type (``Linear`` and ``Conv2d``, paper section 3.4) gets
+a handler that:
+
+* captures the layer input during the forward pass (module forward hook) and
+  the gradient w.r.t. the layer output during the backward pass (tensor hook),
+* accumulates the Kronecker factor statistics ``A = a aᵀ`` and ``G = g gᵀ``
+  across the mini-batches of a gradient-accumulation window (section 4.2),
+* maintains exponential running averages of the factors (section 2.1.2),
+* exposes the bias-folded gradient matrix and writes the preconditioned
+  gradient back into the module's parameter ``.grad`` fields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..nn.conv import Conv2d
+from ..nn.functional import im2col
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..tensor import PrecisionPolicy, Tensor
+from .kmath import EigenDecomposition, eigenvalue_outer_product, precondition_with_eigen, symmetric_eigen
+from .strategy import LayerShapeInfo
+
+__all__ = ["KFACLayer", "KFACLinearLayer", "KFACConv2dLayer", "make_kfac_layer"]
+
+
+class KFACLayer:
+    """Base class holding K-FAC state for a single preconditioned module."""
+
+    def __init__(
+        self,
+        name: str,
+        module: Module,
+        precision: PrecisionPolicy,
+        should_accumulate: Callable[[], bool],
+        grad_scale: Callable[[], float],
+    ) -> None:
+        self.name = name
+        self.module = module
+        self.precision = precision
+        self._should_accumulate = should_accumulate
+        self._grad_scale = grad_scale
+        self.has_bias = getattr(module, "bias", None) is not None
+
+        # Accumulated raw statistics for the current factor-update window.
+        self._a_accum: Optional[np.ndarray] = None
+        self._g_accum: Optional[np.ndarray] = None
+        self._a_count = 0
+        self._g_count = 0
+
+        # Running-average Kronecker factors (stored in the factor dtype).
+        self.factor_a: Optional[np.ndarray] = None
+        self.factor_g: Optional[np.ndarray] = None
+
+        # Eigen decompositions and cached eigenvalue outer product.
+        self.eigen_a: Optional[EigenDecomposition] = None
+        self.eigen_g: Optional[EigenDecomposition] = None
+        self.inverse_outer: Optional[np.ndarray] = None
+
+        self._remove_hook = module.register_forward_hook(self._forward_hook)
+
+    # --------------------------------------------------------------- shapes
+    @property
+    def a_dim(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def g_dim(self) -> int:
+        raise NotImplementedError
+
+    def shape_info(self) -> LayerShapeInfo:
+        return LayerShapeInfo(
+            name=self.name, a_dim=self.a_dim, g_dim=self.g_dim, grad_numel=self.g_dim * self.a_dim
+        )
+
+    # ---------------------------------------------------------------- hooks
+    def _forward_hook(self, module: Module, inputs, output) -> None:
+        if not module.training or not self._should_accumulate():
+            return
+        x = inputs[0]
+        self._accumulate_a(x.data if isinstance(x, Tensor) else np.asarray(x))
+        if isinstance(output, Tensor) and output.requires_grad:
+            output.register_hook(self._grad_output_hook)
+
+    def _grad_output_hook(self, grad_output: np.ndarray) -> None:
+        scale = self._grad_scale()
+        if scale != 1.0:
+            grad_output = grad_output / scale
+        self._accumulate_g(grad_output)
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _accumulate_g(self, grad_output: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _add_a_stat(self, rows: np.ndarray) -> None:
+        contribution = rows.T.astype(np.float32) @ rows.astype(np.float32)
+        if self._a_accum is None:
+            self._a_accum = contribution
+        else:
+            self._a_accum += contribution
+        self._a_count += rows.shape[0]
+
+    def _add_g_stat(self, rows: np.ndarray) -> None:
+        contribution = rows.T.astype(np.float32) @ rows.astype(np.float32)
+        if self._g_accum is None:
+            self._g_accum = contribution
+        else:
+            self._g_accum += contribution
+        self._g_count += rows.shape[0]
+
+    # -------------------------------------------------------------- factors
+    @property
+    def has_accumulated_data(self) -> bool:
+        return self._a_accum is not None and self._g_accum is not None
+
+    def compute_batch_factors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Average the accumulated statistics into per-window factors and reset."""
+        if not self.has_accumulated_data:
+            raise RuntimeError(f"layer {self.name!r} has no accumulated forward/backward data")
+        a_new = (self._a_accum / max(self._a_count, 1)).astype(np.float32)
+        g_new = (self._g_accum / max(self._g_count, 1)).astype(np.float32)
+        self.reset_accumulators()
+        return a_new, g_new
+
+    def reset_accumulators(self) -> None:
+        self._a_accum = None
+        self._g_accum = None
+        self._a_count = 0
+        self._g_count = 0
+
+    def update_factors(self, a_new: np.ndarray, g_new: np.ndarray, factor_decay: float) -> None:
+        """Fold new batch factors into the running averages (Eq. 9 running estimate)."""
+        dtype = self.precision.factor_dtype
+        if self.factor_a is None:
+            self.factor_a = a_new.astype(dtype)
+            self.factor_g = g_new.astype(dtype)
+        else:
+            decay = float(factor_decay)
+            self.factor_a = (decay * self.factor_a.astype(np.float32) + (1 - decay) * a_new).astype(dtype)
+            self.factor_g = (decay * self.factor_g.astype(np.float32) + (1 - decay) * g_new).astype(dtype)
+
+    def set_factors(self, factor_a: np.ndarray, factor_g: np.ndarray) -> None:
+        """Overwrite the running-average factors (used after the factor allreduce)."""
+        dtype = self.precision.factor_dtype
+        self.factor_a = factor_a.astype(dtype)
+        self.factor_g = factor_g.astype(dtype)
+
+    # ---------------------------------------------------------------- eigen
+    def compute_eigen(self, damping: float, compute_outer: bool = True) -> None:
+        """Eigen-decompose both factors and (optionally) cache the outer product."""
+        if self.factor_a is None or self.factor_g is None:
+            raise RuntimeError(f"layer {self.name!r} has no factors to decompose")
+        compute = self.precision.compute_dtype
+        store = self.precision.inverse_dtype
+        self.eigen_a = symmetric_eigen(self.factor_a, compute_dtype=compute).astype(store)
+        self.eigen_g = symmetric_eigen(self.factor_g, compute_dtype=compute).astype(store)
+        if compute_outer:
+            self.inverse_outer = eigenvalue_outer_product(self.eigen_a, self.eigen_g, damping, dtype=store)
+        else:
+            self.inverse_outer = None
+
+    def set_eigen(
+        self,
+        eigen_a: Optional[EigenDecomposition],
+        eigen_g: Optional[EigenDecomposition],
+        inverse_outer: Optional[np.ndarray],
+    ) -> None:
+        """Install eigen decompositions received from the eigen worker."""
+        if eigen_a is not None:
+            self.eigen_a = eigen_a
+        if eigen_g is not None:
+            self.eigen_g = eigen_g
+        if inverse_outer is not None:
+            self.inverse_outer = inverse_outer
+
+    def clear_eigen(self) -> None:
+        """Drop locally cached eigen decompositions (gradient receivers in MEM/HYBRID-OPT)."""
+        self.eigen_a = None
+        self.eigen_g = None
+        self.inverse_outer = None
+
+    @property
+    def has_eigen(self) -> bool:
+        return self.eigen_a is not None and self.eigen_g is not None
+
+    # ------------------------------------------------------------- gradient
+    def get_gradient(self) -> np.ndarray:
+        """Return the bias-folded gradient matrix of shape ``(g_dim, a_dim)``."""
+        raise NotImplementedError
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        """Write a (preconditioned) gradient matrix back into the module parameters."""
+        raise NotImplementedError
+
+    def precondition(self, damping: float) -> np.ndarray:
+        """Precondition the current gradient with the cached eigen decompositions."""
+        if not self.has_eigen:
+            raise RuntimeError(f"layer {self.name!r} has no eigen decompositions")
+        grad = self.get_gradient()
+        return precondition_with_eigen(grad, self.eigen_a, self.eigen_g, damping, self.inverse_outer)
+
+    # --------------------------------------------------------------- memory
+    def factor_bytes(self) -> int:
+        """Bytes used by the running-average factors on this process."""
+        total = 0
+        for factor in (self.factor_a, self.factor_g):
+            if factor is not None:
+                total += factor.nbytes
+        return total
+
+    def eigen_bytes(self) -> int:
+        """Bytes used by locally cached eigen decompositions and the outer product."""
+        total = 0
+        for eig in (self.eigen_a, self.eigen_g):
+            if eig is not None:
+                total += eig.nbytes
+        if self.inverse_outer is not None:
+            total += self.inverse_outer.nbytes
+        return total
+
+    def expected_factor_bytes(self) -> int:
+        """Bytes the factors will occupy once computed (for the planning memory model)."""
+        itemsize = np.dtype(self.precision.factor_dtype).itemsize
+        return (self.a_dim ** 2 + self.g_dim ** 2) * itemsize
+
+    def expected_eigen_bytes(self, include_outer: bool = True) -> int:
+        """Bytes the eigen decompositions will occupy once computed."""
+        itemsize = np.dtype(self.precision.inverse_dtype).itemsize
+        total = (self.a_dim ** 2 + self.a_dim + self.g_dim ** 2 + self.g_dim) * itemsize
+        if include_outer:
+            total += self.a_dim * self.g_dim * itemsize
+        return total
+
+    def remove(self) -> None:
+        """Detach the forward hook from the wrapped module."""
+        self._remove_hook()
+
+
+class KFACLinearLayer(KFACLayer):
+    """K-FAC handler for :class:`~repro.nn.linear.Linear` modules.
+
+    Inputs of shape ``(..., in_features)`` are flattened to rows; the bias is
+    handled by appending a homogeneous coordinate of 1 to the activations
+    (making ``A`` of size ``in_features+1``).
+    """
+
+    @property
+    def a_dim(self) -> int:
+        return self.module.in_features + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self.module.out_features
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        rows = x.reshape(-1, x.shape[-1])
+        if self.has_bias:
+            ones = np.ones((rows.shape[0], 1), dtype=rows.dtype)
+            rows = np.concatenate([rows, ones], axis=1)
+        self._add_a_stat(rows)
+
+    def _accumulate_g(self, grad_output: np.ndarray) -> None:
+        rows = grad_output.reshape(-1, grad_output.shape[-1])
+        # Undo the 1/N averaging of the loss so G estimates E[g gᵀ] per sample.
+        rows = rows * rows.shape[0]
+        self._add_g_stat(rows)
+
+    def get_gradient(self) -> np.ndarray:
+        weight_grad = self.module.weight.grad
+        if weight_grad is None:
+            raise RuntimeError(f"layer {self.name!r} has no weight gradient")
+        grad = weight_grad.astype(np.float32)
+        if self.has_bias:
+            bias_grad = self.module.bias.grad.astype(np.float32).reshape(-1, 1)
+            grad = np.concatenate([grad, bias_grad], axis=1)
+        return grad
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        if self.has_bias:
+            weight, bias = matrix[:, :-1], matrix[:, -1]
+            self.module.bias.grad = bias.astype(self.module.bias.data.dtype).reshape(self.module.bias.shape)
+        else:
+            weight = matrix
+        self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+
+
+class KFACConv2dLayer(KFACLayer):
+    """K-FAC handler for :class:`~repro.nn.conv.Conv2d` modules.
+
+    Following Grosse & Martens (2016), the activation factor is built from the
+    im2col patches of the layer input (each spatial location of each example
+    is one row) and the gradient factor from the per-location gradients of
+    the layer output.
+    """
+
+    @property
+    def a_dim(self) -> int:
+        kh, kw = self.module.kernel_size
+        return self.module.in_channels * kh * kw + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self.module.out_channels
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        cols, _, _ = im2col(x, self.module.kernel_size, self.module.stride, self.module.padding)
+        # (N, C*kh*kw, L) -> (N*L, C*kh*kw)
+        rows = cols.transpose(0, 2, 1).reshape(-1, cols.shape[1])
+        if self.has_bias:
+            ones = np.ones((rows.shape[0], 1), dtype=rows.dtype)
+            rows = np.concatenate([rows, ones], axis=1)
+        self._add_a_stat(rows)
+
+    def _accumulate_g(self, grad_output: np.ndarray) -> None:
+        n, out_c, oh, ow = grad_output.shape
+        rows = grad_output.transpose(0, 2, 3, 1).reshape(-1, out_c)
+        # Undo the 1/N batch averaging of the loss.
+        rows = rows * n
+        self._add_g_stat(rows)
+
+    def get_gradient(self) -> np.ndarray:
+        weight_grad = self.module.weight.grad
+        if weight_grad is None:
+            raise RuntimeError(f"layer {self.name!r} has no weight gradient")
+        grad = weight_grad.reshape(self.module.out_channels, -1).astype(np.float32)
+        if self.has_bias:
+            bias_grad = self.module.bias.grad.astype(np.float32).reshape(-1, 1)
+            grad = np.concatenate([grad, bias_grad], axis=1)
+        return grad
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        if self.has_bias:
+            weight, bias = matrix[:, :-1], matrix[:, -1]
+            self.module.bias.grad = bias.astype(self.module.bias.data.dtype).reshape(self.module.bias.shape)
+        else:
+            weight = matrix
+        self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+
+
+def make_kfac_layer(
+    name: str,
+    module: Module,
+    precision: PrecisionPolicy,
+    should_accumulate: Callable[[], bool],
+    grad_scale: Callable[[], float],
+) -> Optional[KFACLayer]:
+    """Create the appropriate handler for ``module`` or ``None`` if unsupported."""
+    if isinstance(module, Linear):
+        return KFACLinearLayer(name, module, precision, should_accumulate, grad_scale)
+    if isinstance(module, Conv2d):
+        return KFACConv2dLayer(name, module, precision, should_accumulate, grad_scale)
+    return None

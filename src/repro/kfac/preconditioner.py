@@ -1,0 +1,363 @@
+"""The KAISA K-FAC gradient preconditioner.
+
+Usage mirrors the paper's Listing 1::
+
+    model = ...                                   # any repro.nn model
+    optimizer = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    preconditioner = KFAC(model, lr=0.1, grad_worker_frac=0.5)
+
+    for data, target in loader:
+        optimizer.zero_grad()
+        loss = criterion(model(data), target)
+        loss.backward()
+        preconditioner.step()                      # precondition gradients in-place
+        optimizer.step()
+
+A call to :meth:`KFAC.step` performs the four stages of Figure 3 / section 3.4:
+
+1. fold the forward/backward statistics accumulated by the layer hooks into
+   the running-average Kronecker factors and allreduce them (every
+   ``factor_update_freq`` iterations),
+2. compute the eigen decompositions on their assigned workers and broadcast
+   them to the layer's gradient workers (every ``inv_update_freq``
+   iterations),
+3. precondition the gradients on the gradient workers and broadcast the
+   result to the gradient receivers (every iteration),
+4. apply the KL-clip scaling and write the preconditioned gradients back into
+   ``param.grad`` so the following ``optimizer.step()`` consumes them.
+
+``grad_worker_frac`` selects the distribution strategy (section 3.1):
+``1/world_size`` is MEM-OPT, ``1`` is COMM-OPT, anything between is
+HYBRID-OPT.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..distributed.backend import Communicator, SingleProcessCommunicator
+from ..nn.module import Module
+from ..tensor import PrecisionPolicy
+from .kmath import EigenDecomposition, eigenvalue_outer_product, kl_clip_scale
+from .layers import KFACLayer, make_kfac_layer
+from .strategy import DistributionStrategy, LayerWorkGroups
+from .triangular import pack_upper_triangle, unpack_upper_triangle
+
+__all__ = ["KFAC"]
+
+
+class KFAC:
+    """K-FAC second-order gradient preconditioner with a tunable memory footprint."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 0.1,
+        factor_decay: float = 0.95,
+        damping: float = 0.003,
+        kl_clip: float = 0.001,
+        factor_update_freq: int = 10,
+        inv_update_freq: int = 100,
+        grad_worker_frac: float = 1.0,
+        precision: Union[str, PrecisionPolicy] = "fp32",
+        grad_scaler=None,
+        comm: Optional[Communicator] = None,
+        skip_modules: Sequence[Module] = (),
+        assignment_balance: str = "compute",
+        compute_eigen_outer: bool = True,
+        triangular_comm: bool = False,
+        profiler=None,
+    ) -> None:
+        if factor_update_freq < 1 or inv_update_freq < 1:
+            raise ValueError("update frequencies must be >= 1")
+        if inv_update_freq % factor_update_freq != 0:
+            raise ValueError(
+                "inv_update_freq must be a multiple of factor_update_freq "
+                f"(got {inv_update_freq} and {factor_update_freq})"
+            )
+        if not 0.0 < factor_decay <= 1.0:
+            raise ValueError("factor_decay must be in (0, 1]")
+        if damping <= 0.0:
+            raise ValueError("damping must be positive")
+
+        self.model = model
+        self.lr = float(lr)
+        self.factor_decay = float(factor_decay)
+        self.damping = float(damping)
+        self.kl_clip = float(kl_clip)
+        self.factor_update_freq = int(factor_update_freq)
+        self.inv_update_freq = int(inv_update_freq)
+        self.grad_scaler = grad_scaler
+        self.comm = comm if comm is not None else SingleProcessCommunicator()
+        self.compute_eigen_outer = bool(compute_eigen_outer)
+        self.triangular_comm = bool(triangular_comm)
+        self.profiler = profiler
+
+        self.precision = precision if isinstance(precision, PrecisionPolicy) else PrecisionPolicy.from_name(precision)
+        self.strategy = DistributionStrategy(
+            world_size=self.comm.world_size, grad_worker_frac=grad_worker_frac, balance=assignment_balance
+        )
+
+        self._steps = 0
+        self._skip_ids = {id(m) for m in skip_modules}
+        self.layers: Dict[str, KFACLayer] = {}
+        self._register_model(model)
+        if not self.layers:
+            raise ValueError("model contains no Linear or Conv2d layers to precondition")
+        self.groups: Dict[str, LayerWorkGroups] = self.strategy.assign(
+            [layer.shape_info() for layer in self.layers.values()]
+        )
+
+    # ------------------------------------------------------------ registration
+    def _register_model(self, model: Module) -> None:
+        for name, module in model.named_modules():
+            if id(module) in self._skip_ids:
+                continue
+            layer = make_kfac_layer(
+                name or module.__class__.__name__,
+                module,
+                self.precision,
+                should_accumulate=self._should_accumulate,
+                grad_scale=self._current_grad_scale,
+            )
+            if layer is not None:
+                self.layers[layer.name] = layer
+
+    def _should_accumulate(self) -> bool:
+        """Layer hooks accumulate statistics only on factor-update iterations."""
+        return self._steps % self.factor_update_freq == 0
+
+    def _current_grad_scale(self) -> float:
+        if self.grad_scaler is None:
+            return 1.0
+        return float(self.grad_scaler.get_scale())
+
+    def _profile(self, stage: str):
+        if self.profiler is None:
+            return contextlib.nullcontext()
+        return self.profiler.region(stage)
+
+    # --------------------------------------------------------------- properties
+    @property
+    def steps(self) -> int:
+        """Number of completed :meth:`step` calls."""
+        return self._steps
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def world_size(self) -> int:
+        return self.comm.world_size
+
+    @property
+    def grad_worker_frac(self) -> float:
+        return self.strategy.grad_worker_frac
+
+    def layer_names(self) -> List[str]:
+        return list(self.layers.keys())
+
+    # --------------------------------------------------------------------- step
+    def step(self, lr: Optional[float] = None) -> None:
+        """Precondition all registered layer gradients in place (Listing 1)."""
+        if lr is not None:
+            self.lr = float(lr)
+        update_factors = self._steps % self.factor_update_freq == 0
+        update_eigen = self._steps % self.inv_update_freq == 0
+
+        if update_factors:
+            with self._profile("factor_compute"):
+                self._update_local_factors()
+            with self._profile("factor_allreduce"):
+                self._allreduce_factors()
+        if update_eigen:
+            with self._profile("eigen_decomposition"):
+                self._compute_eigen_decompositions()
+            with self._profile("eigen_broadcast"):
+                self._broadcast_eigen_decompositions()
+        with self._profile("precondition"):
+            preconditioned = self._precondition_gradients()
+        with self._profile("grad_broadcast"):
+            preconditioned = self._broadcast_preconditioned_gradients(preconditioned)
+        with self._profile("scale_and_update"):
+            self._apply_preconditioned_gradients(preconditioned)
+        self._steps += 1
+
+    # ------------------------------------------------------------ stage 1: factors
+    def _update_local_factors(self) -> None:
+        for layer in self.layers.values():
+            if not layer.has_accumulated_data:
+                raise RuntimeError(
+                    f"layer {layer.name!r} has no forward/backward statistics for this factor update; "
+                    "ensure the forward and backward passes ran in training mode before KFAC.step()"
+                )
+            a_new, g_new = layer.compute_batch_factors()
+            layer.update_factors(a_new, g_new, self.factor_decay)
+
+    def _allreduce_factors(self) -> None:
+        if self.comm.world_size == 1:
+            return
+        for layer in self.layers.values():
+            factor_a, factor_g = layer.factor_a, layer.factor_g
+            if self.triangular_comm:
+                packed_a = self.comm.allreduce_average(pack_upper_triangle(factor_a))
+                packed_g = self.comm.allreduce_average(pack_upper_triangle(factor_g))
+                layer.set_factors(
+                    unpack_upper_triangle(packed_a, factor_a.shape[0]),
+                    unpack_upper_triangle(packed_g, factor_g.shape[0]),
+                )
+            else:
+                layer.set_factors(
+                    self.comm.allreduce_average(factor_a),
+                    self.comm.allreduce_average(factor_g),
+                )
+
+    # -------------------------------------------------------- stage 2: eigen decomp
+    def _compute_eigen_decompositions(self) -> None:
+        comm_opt = self.strategy.num_grad_workers >= self.world_size
+        for name, layer in self.layers.items():
+            group = self.groups[name]
+            if comm_opt:
+                # COMM-OPT distributes individual factors across ranks
+                # (section 2.2.2); the outer product is formed locally by every
+                # rank after the eigen broadcast since all ranks cache the
+                # decompositions anyway.
+                if self.rank == group.eigen_worker_a:
+                    layer.eigen_a = _compute_single_eigen(layer, "a", self.precision)
+                if self.rank == group.eigen_worker_g:
+                    layer.eigen_g = _compute_single_eigen(layer, "g", self.precision)
+            else:
+                if self.rank == group.eigen_worker:
+                    layer.compute_eigen(self.damping, compute_outer=self.compute_eigen_outer)
+
+    def _broadcast_eigen_decompositions(self) -> None:
+        if self.world_size == 1:
+            for layer in self.layers.values():
+                if not layer.has_eigen:
+                    layer.compute_eigen(self.damping, compute_outer=self.compute_eigen_outer)
+                elif layer.inverse_outer is None and self.compute_eigen_outer:
+                    layer.inverse_outer = eigenvalue_outer_product(
+                        layer.eigen_a, layer.eigen_g, self.damping, dtype=self.precision.inverse_dtype
+                    )
+            return
+
+        comm_opt = self.strategy.num_grad_workers >= self.world_size
+        for name, layer in self.layers.items():
+            group = self.groups[name]
+            if comm_opt:
+                layer.eigen_a = _broadcast_eigen(self.comm, layer.eigen_a, group.eigen_worker_a, None)
+                layer.eigen_g = _broadcast_eigen(self.comm, layer.eigen_g, group.eigen_worker_g, None)
+                if self.compute_eigen_outer:
+                    layer.inverse_outer = eigenvalue_outer_product(
+                        layer.eigen_a, layer.eigen_g, self.damping, dtype=self.precision.inverse_dtype
+                    )
+                else:
+                    layer.inverse_outer = None
+            else:
+                # HYBRID / MEM-OPT: only the gradient workers receive the eigen
+                # decompositions (this is exactly the tunable memory footprint).
+                if not group.is_grad_worker(self.rank):
+                    layer.clear_eigen()
+                    continue
+                bcast_group = group.grad_workers
+                src = group.eigen_worker
+                layer.eigen_a = _broadcast_eigen(self.comm, layer.eigen_a, src, bcast_group)
+                layer.eigen_g = _broadcast_eigen(self.comm, layer.eigen_g, src, bcast_group)
+                if self.compute_eigen_outer:
+                    outer = layer.inverse_outer if self.rank == src else None
+                    layer.inverse_outer = self.comm.broadcast(outer, src=src, group=bcast_group)
+                else:
+                    layer.inverse_outer = None
+
+    # ------------------------------------------------------ stage 3: precondition
+    def _precondition_gradients(self) -> Dict[str, Optional[np.ndarray]]:
+        preconditioned: Dict[str, Optional[np.ndarray]] = {}
+        for name, layer in self.layers.items():
+            group = self.groups[name]
+            if group.is_grad_worker(self.rank):
+                preconditioned[name] = layer.precondition(self.damping)
+            else:
+                preconditioned[name] = None
+        return preconditioned
+
+    def _broadcast_preconditioned_gradients(
+        self, preconditioned: Dict[str, Optional[np.ndarray]]
+    ) -> Dict[str, Optional[np.ndarray]]:
+        if self.world_size == 1 or self.strategy.num_grad_workers >= self.world_size:
+            return preconditioned
+        out: Dict[str, Optional[np.ndarray]] = {}
+        for name, layer in self.layers.items():
+            group = self.groups[name]
+            worker = group.grad_worker_for(self.rank)
+            members = (worker,) + group.receivers_of(worker)
+            if len(members) == 1:
+                out[name] = preconditioned[name]
+                continue
+            value = preconditioned[name] if self.rank == worker else None
+            out[name] = self.comm.broadcast(value, src=worker, group=members)
+        return out
+
+    # --------------------------------------------------- stage 4: scale and update
+    def _apply_preconditioned_gradients(self, preconditioned: Dict[str, Optional[np.ndarray]]) -> None:
+        pairs = []
+        for name, layer in self.layers.items():
+            precond = preconditioned[name]
+            if precond is None:
+                raise RuntimeError(f"missing preconditioned gradient for layer {name!r}")
+            pairs.append((layer.get_gradient(), precond))
+        nu = kl_clip_scale(pairs, self.lr, self.kl_clip)
+        for (name, layer), (_, precond) in zip(self.layers.items(), pairs):
+            layer.set_gradient(precond * nu)
+
+    # ------------------------------------------------------------------- memory
+    def memory_usage(self) -> Dict[str, int]:
+        """Bytes of K-FAC state held on *this* rank (the paper's K-FAC overhead)."""
+        factors = sum(layer.factor_bytes() for layer in self.layers.values())
+        eigen = sum(layer.eigen_bytes() for layer in self.layers.values())
+        return {"factors": factors, "eigen": eigen, "total": factors + eigen}
+
+    def reset(self) -> None:
+        """Drop all factor and eigen state (e.g. between experiments)."""
+        for layer in self.layers.values():
+            layer.reset_accumulators()
+            layer.factor_a = None
+            layer.factor_g = None
+            layer.clear_eigen()
+        self._steps = 0
+
+
+def _compute_single_eigen(layer: KFACLayer, which: str, precision: PrecisionPolicy) -> EigenDecomposition:
+    from .kmath import symmetric_eigen
+
+    factor = layer.factor_a if which == "a" else layer.factor_g
+    if factor is None:
+        raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor")
+    return symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(precision.inverse_dtype)
+
+
+def _broadcast_eigen(
+    comm: Communicator,
+    eigen: Optional[EigenDecomposition],
+    src: int,
+    group: Optional[Sequence[int]],
+) -> EigenDecomposition:
+    """Broadcast an eigen decomposition as a single packed buffer."""
+    if comm.rank == src:
+        if eigen is None:
+            raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
+        n = eigen.eigenvectors.shape[0]
+        packed = np.concatenate(
+            [np.array([n], dtype=np.float32), eigen.eigenvalues.astype(np.float32), eigen.eigenvectors.astype(np.float32).reshape(-1)]
+        )
+    else:
+        packed = None
+    received = comm.broadcast(packed, src=src, group=group)
+    n = int(received[0])
+    eigenvalues = received[1 : 1 + n]
+    eigenvectors = received[1 + n :].reshape(n, n)
+    dtype = eigen.eigenvalues.dtype if eigen is not None else np.float32
+    return EigenDecomposition(eigenvectors=eigenvectors.astype(dtype), eigenvalues=eigenvalues.astype(dtype))

@@ -1,0 +1,198 @@
+"""Distribution strategies: MEM-OPT, COMM-OPT and HYBRID-OPT (paper section 3.1).
+
+``grad_worker_frac`` controls how many processes act as *gradient workers* for
+each layer, i.e. how many ranks cache that layer's eigen decompositions and
+precondition its gradient locally:
+
+* ``grad_worker_frac = 1/world_size`` → **MEM-OPT** (Osawa et al. 2019): one
+  gradient worker per layer; it preconditions and broadcasts the
+  preconditioned gradient to everyone else every iteration.
+* ``grad_worker_frac = 1`` → **COMM-OPT** (Pauloski et al. 2020): every rank
+  is a gradient worker; eigen decompositions are broadcast once per K-FAC
+  update and no per-iteration gradient broadcast is needed.
+* anything in between → **HYBRID-OPT**: the eigen worker broadcasts the eigen
+  decompositions to the gradient-worker subset; each gradient worker then
+  broadcasts the preconditioned gradient to its own (smaller) receiver group,
+  and those broadcasts proceed concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .assignment import greedy_lpt_assignment
+
+__all__ = ["LayerShapeInfo", "LayerWorkGroups", "DistributionStrategy"]
+
+
+@dataclass(frozen=True)
+class LayerShapeInfo:
+    """Shape information a strategy needs about one K-FAC-preconditioned layer."""
+
+    name: str
+    a_dim: int  # dimension of the A (activation) Kronecker factor
+    g_dim: int  # dimension of the G (gradient) Kronecker factor
+    grad_numel: int  # number of elements in the (bias-folded) gradient matrix
+
+    @property
+    def eigen_cost(self) -> float:
+        """O(N^3) eigen-decomposition cost proxy used by the LPT scheduler."""
+        return float(self.a_dim) ** 3 + float(self.g_dim) ** 3
+
+    @property
+    def memory_cost(self) -> float:
+        """O(N^2) storage cost proxy (alternative balancing objective)."""
+        return float(self.a_dim) ** 2 + float(self.g_dim) ** 2
+
+
+@dataclass
+class LayerWorkGroups:
+    """Per-layer worker roles for one distribution strategy instance."""
+
+    layer: LayerShapeInfo
+    eigen_worker_a: int
+    eigen_worker_g: int
+    grad_workers: Tuple[int, ...]
+    receiver_map: Dict[int, Tuple[int, ...]]  # grad worker -> receivers it broadcasts to
+
+    @property
+    def eigen_worker(self) -> int:
+        """Rank responsible for the G decomposition and the cached eigenvalue outer product."""
+        return self.eigen_worker_g
+
+    def is_grad_worker(self, rank: int) -> bool:
+        return rank in self.grad_workers
+
+    def receivers_of(self, rank: int) -> Tuple[int, ...]:
+        return self.receiver_map.get(rank, ())
+
+    def grad_worker_for(self, rank: int) -> int:
+        """The gradient worker that sends the preconditioned gradient to ``rank``."""
+        if rank in self.grad_workers:
+            return rank
+        for worker, receivers in self.receiver_map.items():
+            if rank in receivers:
+                return worker
+        raise KeyError(f"rank {rank} is neither a gradient worker nor a receiver")
+
+    def broadcast_group_size(self) -> int:
+        """Size of each preconditioned-gradient broadcast group (worker + receivers)."""
+        if not self.receiver_map:
+            return 1
+        return 1 + max(len(r) for r in self.receiver_map.values())
+
+
+class DistributionStrategy:
+    """Builds per-layer worker groups for a given world size and ``grad_worker_frac``."""
+
+    def __init__(self, world_size: int, grad_worker_frac: float = 1.0, balance: str = "compute") -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if not 0.0 < grad_worker_frac <= 1.0:
+            raise ValueError("grad_worker_frac must be in (0, 1]")
+        if balance not in ("compute", "memory"):
+            raise ValueError("balance must be 'compute' or 'memory'")
+        self.world_size = int(world_size)
+        self.grad_worker_frac = float(grad_worker_frac)
+        self.balance = balance
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def mem_opt(cls, world_size: int) -> "DistributionStrategy":
+        """MEM-OPT: a single gradient worker per layer."""
+        return cls(world_size, grad_worker_frac=1.0 / world_size)
+
+    @classmethod
+    def comm_opt(cls, world_size: int) -> "DistributionStrategy":
+        """COMM-OPT: every rank is a gradient worker."""
+        return cls(world_size, grad_worker_frac=1.0)
+
+    @classmethod
+    def hybrid(cls, world_size: int, grad_worker_frac: float = 0.5) -> "DistributionStrategy":
+        """HYBRID-OPT with an arbitrary gradient-worker fraction."""
+        return cls(world_size, grad_worker_frac=grad_worker_frac)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_grad_workers(self) -> int:
+        """``max(1, grad_worker_frac * world_size)`` as defined in section 3.1."""
+        return max(1, int(round(self.grad_worker_frac * self.world_size)))
+
+    @property
+    def name(self) -> str:
+        if self.num_grad_workers >= self.world_size:
+            return "COMM-OPT"
+        if self.num_grad_workers == 1:
+            return "MEM-OPT"
+        return "HYBRID-OPT"
+
+    # ------------------------------------------------------------ assignment
+    def _layer_costs(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, float]:
+        if self.balance == "memory":
+            return {layer.name: layer.memory_cost for layer in layers}
+        return {layer.name: layer.eigen_cost for layer in layers}
+
+    def assign(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, LayerWorkGroups]:
+        """Assign eigen workers, gradient workers and receiver groups for every layer.
+
+        The assignment is a deterministic function of the layer list and the
+        strategy parameters, so every rank computes the identical plan without
+        communication (exactly how the reference implementation behaves).
+        """
+        if not layers:
+            return {}
+        world = self.world_size
+        num_gw = min(self.num_grad_workers, world)
+        groups: Dict[str, LayerWorkGroups] = {}
+
+        if num_gw >= world:
+            # COMM-OPT: distribute individual *factors* (A and G separately),
+            # doubling the worker utilisation as described in section 2.2.2.
+            factor_costs: Dict[Tuple[str, str], float] = {}
+            for layer in layers:
+                if self.balance == "memory":
+                    factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 2
+                    factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 2
+                else:
+                    factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 3
+                    factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 3
+            result = greedy_lpt_assignment(factor_costs, world)
+            all_ranks = tuple(range(world))
+            for layer in layers:
+                groups[layer.name] = LayerWorkGroups(
+                    layer=layer,
+                    eigen_worker_a=result.assignment[(layer.name, "A")],
+                    eigen_worker_g=result.assignment[(layer.name, "G")],
+                    grad_workers=all_ranks,
+                    receiver_map={},
+                )
+            return groups
+
+        # MEM-OPT / HYBRID-OPT: distribute whole layers; the eigen worker for a
+        # layer handles both of its factors and is one of its gradient workers.
+        # Ranks are partitioned into fixed blocks of ``num_gw`` processes (the
+        # dashed red box of Figure 4); the gradient workers of a layer are the
+        # block that contains its eigen worker, and each gradient worker
+        # broadcasts the preconditioned gradient to its share of the remaining
+        # ranks, so the broadcasts are small and run concurrently.
+        layer_costs = self._layer_costs(layers)
+        result = greedy_lpt_assignment(layer_costs, world)
+        blocks = [list(range(start, min(start + num_gw, world))) for start in range(0, world, num_gw)]
+        for layer in layers:
+            eigen_worker = result.assignment[layer.name]
+            block = blocks[eigen_worker // num_gw]
+            grad_workers = tuple(block)
+            receivers = [rank for rank in range(world) if rank not in block]
+            receiver_map: Dict[int, List[int]] = {worker: [] for worker in grad_workers}
+            for index, receiver in enumerate(receivers):
+                worker = grad_workers[index % len(grad_workers)]
+                receiver_map[worker].append(receiver)
+            groups[layer.name] = LayerWorkGroups(
+                layer=layer,
+                eigen_worker_a=eigen_worker,
+                eigen_worker_g=eigen_worker,
+                grad_workers=grad_workers,
+                receiver_map={worker: tuple(recv) for worker, recv in receiver_map.items()},
+            )
+        return groups

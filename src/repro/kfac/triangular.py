@@ -1,0 +1,40 @@
+"""Triangular factor packing for communication (paper section 4.3).
+
+Kronecker factors are symmetric, so only the upper triangle needs to be
+communicated during the factor allreduce; the receiver reconstructs the full
+matrix before the eigen-decomposition stage.  The paper found this a wash for
+its models (latency-bound allreduces + pack/unpack overhead) but kept the
+capability for models with very large individual layers — the same tradeoff
+is measured in ``benchmarks/bench_ablation_triangular_comm.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_upper_triangle", "unpack_upper_triangle", "triangular_size"]
+
+
+def triangular_size(n: int) -> int:
+    """Number of elements in the upper triangle (including diagonal) of an n x n matrix."""
+    return n * (n + 1) // 2
+
+
+def pack_upper_triangle(matrix: np.ndarray) -> np.ndarray:
+    """Flatten the upper triangle (including diagonal) of a symmetric matrix."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    rows, cols = np.triu_indices(matrix.shape[0])
+    return matrix[rows, cols]
+
+
+def unpack_upper_triangle(packed: np.ndarray, n: int) -> np.ndarray:
+    """Reconstruct the full symmetric matrix from its packed upper triangle."""
+    expected = triangular_size(n)
+    if packed.size != expected:
+        raise ValueError(f"packed size {packed.size} does not match n={n} (expected {expected})")
+    out = np.zeros((n, n), dtype=packed.dtype)
+    rows, cols = np.triu_indices(n)
+    out[rows, cols] = packed
+    out[cols, rows] = packed
+    return out

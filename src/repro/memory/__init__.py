@@ -1,0 +1,17 @@
+"""Memory accounting for the Table 5 / Figure 6 / Table 4 studies."""
+
+from .tracker import (
+    MB,
+    KFACMemoryModel,
+    MemoryBreakdown,
+    model_parameter_bytes,
+    optimizer_state_multiplier,
+)
+
+__all__ = [
+    "MemoryBreakdown",
+    "KFACMemoryModel",
+    "model_parameter_bytes",
+    "optimizer_state_multiplier",
+    "MB",
+]

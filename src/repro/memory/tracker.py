@@ -1,0 +1,213 @@
+"""Per-rank memory accounting (Table 5 and the right axes of Figure 6).
+
+The paper's "K-FAC memory overhead" is the per-GPU memory used by K-FAC state
+on top of regular training: the running-average Kronecker factors (held by
+every rank, because the factor allreduce leaves a copy everywhere) plus the
+eigen decompositions and the cached eigenvalue outer product (held only by
+the ranks that act as *gradient workers* for a layer).  That makes the
+overhead a linear function of ``grad_worker_frac``, which is exactly what
+Table 5's min/max columns and Figure 6's right axes show.
+
+Regular training memory is modelled as weights + gradients + optimizer state
++ an activation estimate proportional to the local batch size.  Activation
+memory depends on implementation details we cannot reproduce byte-for-byte,
+so it is an explicit, documented per-workload parameter rather than a hidden
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..kfac.strategy import DistributionStrategy, LayerShapeInfo
+from ..nn.module import Module
+from ..tensor import PrecisionPolicy
+
+__all__ = ["MemoryBreakdown", "model_parameter_bytes", "optimizer_state_multiplier", "KFACMemoryModel"]
+
+MB = 1024 * 1024
+
+
+@dataclass
+class MemoryBreakdown:
+    """Bytes per rank for each memory category."""
+
+    weights: int = 0
+    gradients: int = 0
+    optimizer_state: int = 0
+    activations: int = 0
+    kfac_factors: int = 0
+    kfac_eigen: int = 0
+
+    @property
+    def baseline_total(self) -> int:
+        """Memory without K-FAC (the 'SGD Abs.' column of Table 5)."""
+        return self.weights + self.gradients + self.optimizer_state + self.activations
+
+    @property
+    def kfac_overhead(self) -> int:
+        """K-FAC state on top of baseline training."""
+        return self.kfac_factors + self.kfac_eigen
+
+    @property
+    def total(self) -> int:
+        return self.baseline_total + self.kfac_overhead
+
+    @property
+    def overhead_percent(self) -> float:
+        """Percentage increase of memory over the baseline (Table 5's delta column)."""
+        if self.baseline_total == 0:
+            return 0.0
+        return 100.0 * self.kfac_overhead / self.baseline_total
+
+    def as_megabytes(self) -> Dict[str, float]:
+        return {
+            "weights": self.weights / MB,
+            "gradients": self.gradients / MB,
+            "optimizer_state": self.optimizer_state / MB,
+            "activations": self.activations / MB,
+            "kfac_factors": self.kfac_factors / MB,
+            "kfac_eigen": self.kfac_eigen / MB,
+            "baseline_total": self.baseline_total / MB,
+            "kfac_overhead": self.kfac_overhead / MB,
+            "total": self.total / MB,
+        }
+
+
+def model_parameter_bytes(model_or_count, dtype_bytes: int = 4) -> int:
+    """Bytes of the model weights, from a module or a raw parameter count."""
+    if isinstance(model_or_count, Module):
+        count = model_or_count.num_parameters()
+    else:
+        count = int(model_or_count)
+    return count * dtype_bytes
+
+
+def optimizer_state_multiplier(optimizer_name: str) -> int:
+    """Number of parameter-sized state buffers kept per parameter by an optimizer."""
+    lowered = optimizer_name.lower()
+    if lowered in ("sgd",):
+        return 1  # momentum buffer
+    if lowered in ("adam", "adamw", "lamb", "fusedlamb"):
+        return 2  # first and second moments
+    raise ValueError(f"unknown optimizer {optimizer_name!r}")
+
+
+class KFACMemoryModel:
+    """Computes per-rank memory breakdowns for a workload under a distribution strategy."""
+
+    def __init__(
+        self,
+        layers: Sequence[LayerShapeInfo],
+        param_count: int,
+        optimizer: str = "sgd",
+        weight_dtype_bytes: int = 4,
+        factor_dtype_bytes: int = 4,
+        eigen_dtype_bytes: int = 4,
+        activation_bytes_per_sample: int = 0,
+        include_outer_product: bool = True,
+    ) -> None:
+        self.layers = list(layers)
+        self.param_count = int(param_count)
+        self.optimizer = optimizer
+        self.weight_dtype_bytes = int(weight_dtype_bytes)
+        self.factor_dtype_bytes = int(factor_dtype_bytes)
+        self.eigen_dtype_bytes = int(eigen_dtype_bytes)
+        self.activation_bytes_per_sample = int(activation_bytes_per_sample)
+        self.include_outer_product = include_outer_product
+
+    @classmethod
+    def from_precision(cls, layers, param_count, optimizer, precision: PrecisionPolicy, **kwargs) -> "KFACMemoryModel":
+        """Build the model using the factor/eigen dtypes of a precision policy."""
+        return cls(
+            layers,
+            param_count,
+            optimizer,
+            factor_dtype_bytes=np.dtype(precision.factor_dtype).itemsize,
+            eigen_dtype_bytes=np.dtype(precision.inverse_dtype).itemsize,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------- components
+    def factor_bytes(self) -> int:
+        """Bytes of all Kronecker factors held by every rank."""
+        return sum((l.a_dim ** 2 + l.g_dim ** 2) * self.factor_dtype_bytes for l in self.layers)
+
+    def eigen_bytes_for_layer(self, layer: LayerShapeInfo) -> int:
+        total = (layer.a_dim ** 2 + layer.a_dim + layer.g_dim ** 2 + layer.g_dim) * self.eigen_dtype_bytes
+        if self.include_outer_product:
+            total += layer.a_dim * layer.g_dim * self.eigen_dtype_bytes
+        return total
+
+    def eigen_bytes_per_rank(self, world_size: int, grad_worker_frac: float) -> np.ndarray:
+        """Eigen-decomposition bytes held by each rank under a given strategy."""
+        strategy = DistributionStrategy(world_size, grad_worker_frac)
+        groups = strategy.assign(self.layers)
+        per_rank = np.zeros(world_size, dtype=np.int64)
+        for layer in self.layers:
+            group = groups[layer.name]
+            nbytes = self.eigen_bytes_for_layer(layer)
+            for rank in group.grad_workers:
+                per_rank[rank] += nbytes
+        return per_rank
+
+    # ------------------------------------------------------------- breakdowns
+    def breakdown(
+        self,
+        world_size: int,
+        grad_worker_frac: Optional[float],
+        local_batch_size: int = 0,
+        rank: str = "max",
+    ) -> MemoryBreakdown:
+        """Memory breakdown for one rank.
+
+        ``grad_worker_frac=None`` gives the baseline (no K-FAC) breakdown.
+        ``rank`` selects ``"max"`` (busiest rank, the paper's reported number),
+        ``"min"`` or ``"mean"``.
+        """
+        weights = self.param_count * self.weight_dtype_bytes
+        gradients = self.param_count * self.weight_dtype_bytes
+        opt_state = self.param_count * self.weight_dtype_bytes * optimizer_state_multiplier(self.optimizer)
+        activations = self.activation_bytes_per_sample * local_batch_size
+        result = MemoryBreakdown(
+            weights=weights, gradients=gradients, optimizer_state=opt_state, activations=activations
+        )
+        if grad_worker_frac is None:
+            return result
+        result.kfac_factors = self.factor_bytes()
+        per_rank = self.eigen_bytes_per_rank(world_size, grad_worker_frac)
+        if rank == "max":
+            result.kfac_eigen = int(per_rank.max())
+        elif rank == "min":
+            result.kfac_eigen = int(per_rank.min())
+        elif rank == "mean":
+            result.kfac_eigen = int(per_rank.mean())
+        else:
+            raise ValueError("rank must be 'max', 'min' or 'mean'")
+        return result
+
+    def overhead_bytes(self, world_size: int, grad_worker_frac: float, rank: str = "max") -> int:
+        """K-FAC overhead only (factors + eigen state) for the selected rank."""
+        return self.breakdown(world_size, grad_worker_frac, rank=rank).kfac_overhead
+
+    def max_local_batch_size(
+        self,
+        memory_budget_bytes: int,
+        world_size: int,
+        grad_worker_frac: Optional[float],
+        activation_bytes_per_sample: Optional[int] = None,
+    ) -> int:
+        """Largest local batch size that fits in ``memory_budget_bytes`` (Table 4 setup)."""
+        per_sample = (
+            activation_bytes_per_sample if activation_bytes_per_sample is not None else self.activation_bytes_per_sample
+        )
+        if per_sample <= 0:
+            raise ValueError("activation_bytes_per_sample must be positive to size a batch")
+        fixed = self.breakdown(world_size, grad_worker_frac, local_batch_size=0).total
+        available = memory_budget_bytes - fixed
+        if available < per_sample:
+            return 0
+        return int(available // per_sample)

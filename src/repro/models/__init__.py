@@ -1,0 +1,44 @@
+"""Model zoo: the paper's four application families plus test helpers."""
+
+from .bert import BertConfig, BertLayer, BertModel, bert_base, bert_large, bert_tiny
+from .maskrcnn import MaskRCNNHeads, MaskRCNNLoss, MaskRCNNOutput
+from .mlp import MLP
+from .resnet import (
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    cifar_resnet20,
+    cifar_resnet32,
+    cifar_resnet56,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+)
+from .unet import UNet
+
+__all__ = [
+    "MLP",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "cifar_resnet20",
+    "cifar_resnet32",
+    "cifar_resnet56",
+    "UNet",
+    "BertConfig",
+    "BertLayer",
+    "BertModel",
+    "bert_tiny",
+    "bert_base",
+    "bert_large",
+    "MaskRCNNHeads",
+    "MaskRCNNLoss",
+    "MaskRCNNOutput",
+]

@@ -1,0 +1,47 @@
+"""Simple multi-layer perceptron used in tests, examples and micro-benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(nn.Module):
+    """Fully-connected classifier with ReLU activations.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality.
+    hidden_sizes:
+        Widths of the hidden layers.
+    num_classes:
+        Output dimensionality (class logits).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        sizes = [in_features, *hidden_sizes]
+        layers: list[nn.Module] = []
+        for prev, nxt in zip(sizes[:-1], sizes[1:]):
+            layers.append(nn.Linear(prev, nxt, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(sizes[-1], num_classes, rng=rng))
+        self.layers = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if len(x.shape) > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.layers(x)

@@ -1,0 +1,203 @@
+"""ResNet family (He et al. 2016).
+
+Two stems are provided:
+
+* the **ImageNet** stem (7x7 stride-2 convolution + max pooling) used by
+  ResNet-18/34/50/101/152 in the paper's Table 5 / Figure 6 memory and
+  iteration-time studies, and
+* the **CIFAR** stem (3x3 convolution) used by ResNet-20/32 for the
+  Figure 1 convergence comparison.
+
+A ``width_multiplier`` scales channel counts so convergence experiments can
+run on CPU while the memory/communication analyses can use the paper's exact
+layer shapes (``width_multiplier=1.0``), since K-FAC factor sizes depend only
+on channel counts and kernel sizes, not spatial resolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = [
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "cifar_resnet20",
+    "cifar_resnet32",
+    "cifar_resnet56",
+]
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(4, int(round(channels * multiplier)))
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with an identity (or projected) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1, rng=None) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.relu = nn.ReLU()
+        out_channels = channels * self.expansion
+        if stride != 1 or in_channels != out_channels:
+            self.downsample: Optional[nn.Module] = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class Bottleneck(nn.Module):
+    """1x1 / 3x3 / 1x1 bottleneck block with expansion 4 (ResNet-50/101/152)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1, rng=None) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.conv3 = nn.Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample: Optional[nn.Module] = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu(out + identity)
+
+
+class ResNet(nn.Module):
+    """Configurable residual network."""
+
+    def __init__(
+        self,
+        block: Type[Union[BasicBlock, Bottleneck]],
+        layers: Sequence[int],
+        num_classes: int = 1000,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        stem: str = "imagenet",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if stem not in ("imagenet", "cifar"):
+            raise ValueError(f"unknown stem {stem!r}")
+        self.block = block
+        self.stem_type = stem
+        widths = [_scaled(c, width_multiplier) for c in (64, 128, 256, 512)]
+        if stem == "cifar":
+            widths = [_scaled(c, width_multiplier) for c in (16, 32, 64, 64)]
+
+        self.in_planes = widths[0]
+        if stem == "imagenet":
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 7, stride=2, padding=3, bias=False, rng=rng)
+            self.maxpool: Optional[nn.Module] = nn.MaxPool2d(3, stride=2, padding=1)
+        else:
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+            self.maxpool = None
+        self.bn1 = nn.BatchNorm2d(widths[0])
+        self.relu = nn.ReLU()
+
+        stage_defs = list(zip(widths[: len(layers)], layers, [1, 2, 2, 2][: len(layers)]))
+        stages: List[nn.Module] = []
+        for width, count, stride in stage_defs:
+            stages.append(self._make_stage(block, width, count, stride, rng))
+        self.stages = nn.Sequential(*stages)
+        self.avgpool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(self.in_planes, num_classes, rng=rng)
+
+    def _make_stage(self, block, channels: int, count: int, stride: int, rng) -> nn.Sequential:
+        blocks = [block(self.in_planes, channels, stride=stride, rng=rng)]
+        self.in_planes = channels * block.expansion
+        for _ in range(1, count):
+            blocks.append(block(self.in_planes, channels, stride=1, rng=rng))
+        return nn.Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        if self.maxpool is not None:
+            out = self.maxpool(out)
+        out = self.stages(out)
+        out = self.avgpool(out)
+        return self.fc(out)
+
+
+def resnet18(num_classes: int = 1000, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """ResNet-18 (ImageNet stem, BasicBlock)."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], num_classes, width_multiplier=width_multiplier, rng=rng, **kwargs)
+
+
+def resnet34(num_classes: int = 1000, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """ResNet-34 (ImageNet stem, BasicBlock)."""
+    return ResNet(BasicBlock, [3, 4, 6, 3], num_classes, width_multiplier=width_multiplier, rng=rng, **kwargs)
+
+
+def resnet50(num_classes: int = 1000, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """ResNet-50 (ImageNet stem, Bottleneck)."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], num_classes, width_multiplier=width_multiplier, rng=rng, **kwargs)
+
+
+def resnet101(num_classes: int = 1000, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """ResNet-101 (ImageNet stem, Bottleneck)."""
+    return ResNet(Bottleneck, [3, 4, 23, 3], num_classes, width_multiplier=width_multiplier, rng=rng, **kwargs)
+
+
+def resnet152(num_classes: int = 1000, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """ResNet-152 (ImageNet stem, Bottleneck)."""
+    return ResNet(Bottleneck, [3, 8, 36, 3], num_classes, width_multiplier=width_multiplier, rng=rng, **kwargs)
+
+
+def cifar_resnet20(num_classes: int = 10, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """CIFAR-style ResNet-20 (3 stages of 3 BasicBlocks)."""
+    return ResNet(
+        BasicBlock, [3, 3, 3], num_classes, width_multiplier=width_multiplier, stem="cifar", rng=rng, **kwargs
+    )
+
+
+def cifar_resnet32(num_classes: int = 10, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """CIFAR-style ResNet-32 (the Figure 1 model)."""
+    return ResNet(
+        BasicBlock, [5, 5, 5], num_classes, width_multiplier=width_multiplier, stem="cifar", rng=rng, **kwargs
+    )
+
+
+def cifar_resnet56(num_classes: int = 10, width_multiplier: float = 1.0, rng=None, **kwargs) -> ResNet:
+    """CIFAR-style ResNet-56."""
+    return ResNet(
+        BasicBlock, [9, 9, 9], num_classes, width_multiplier=width_multiplier, stem="cifar", rng=rng, **kwargs
+    )

@@ -1,0 +1,103 @@
+"""U-Net (Ronneberger et al. 2015) for binary segmentation.
+
+The paper trains a U-Net on brain-MRI tumour segmentation (LGG dataset) and
+applies K-FAC to *all* convolutional layers.  The architecture here follows
+the reference Kaggle implementation cited by the paper (four encoder stages,
+bottleneck, four decoder stages with skip connections), with a configurable
+base width so CPU-scale training is feasible.  Nearest-neighbour upsampling +
+convolution replaces transposed convolution; the K-FAC-visible layer
+population (Conv2d only) is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["UNet"]
+
+
+class DoubleConv(nn.Module):
+    """(Conv -> BN -> ReLU) x 2, the basic U-Net building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng=None) -> None:
+        super().__init__()
+        self.block = nn.Sequential(
+            nn.Conv2d(in_channels, out_channels, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+            nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block(x)
+
+
+class UNet(nn.Module):
+    """Encoder/decoder segmentation network with skip connections.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of input image channels (3 for the paper's MR images).
+    out_channels:
+        Number of output mask channels (1 for binary tumour masks).
+    base_width:
+        Channel count of the first encoder stage; doubles at every stage.
+    depth:
+        Number of down/up-sampling stages.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        out_channels: int = 1,
+        base_width: int = 32,
+        depth: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        widths = [base_width * (2 ** i) for i in range(depth + 1)]
+
+        encoders = []
+        prev = in_channels
+        for width in widths[:-1]:
+            encoders.append(DoubleConv(prev, width, rng=rng))
+            prev = width
+        self.encoders = nn.ModuleList(encoders)
+        self.pool = nn.MaxPool2d(2)
+        self.bottleneck = DoubleConv(widths[-2], widths[-1], rng=rng)
+
+        upsamples = []
+        decoders = []
+        for width in reversed(widths[:-1]):
+            upsamples.append(
+                nn.Sequential(nn.Upsample2d(2), nn.Conv2d(width * 2, width, 3, padding=1, bias=False, rng=rng))
+            )
+            decoders.append(DoubleConv(width * 2, width, rng=rng))
+        self.upsamples = nn.ModuleList(upsamples)
+        self.decoders = nn.ModuleList(decoders)
+        self.head = nn.Conv2d(widths[0], out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        skips = []
+        out = x
+        for encoder in self.encoders:
+            out = encoder(out)
+            skips.append(out)
+            out = self.pool(out)
+        out = self.bottleneck(out)
+        for upsample, decoder, skip in zip(self.upsamples, self.decoders, reversed(skips)):
+            out = upsample(out)
+            out = Tensor.concatenate([skip, out], axis=1)
+            out = decoder(out)
+        return self.head(out)

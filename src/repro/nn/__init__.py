@@ -1,0 +1,52 @@
+"""Neural network layers (the framework substrate the paper builds on)."""
+
+from . import functional, init
+from .activation import GELU, ReLU, Sigmoid, Softmax, Tanh
+from .attention import MultiHeadSelfAttention
+from .container import ModuleList, Sequential
+from .conv import Conv2d, Upsample2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .loss import (
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    DiceLoss,
+    MaskedLMCrossEntropyLoss,
+    MSELoss,
+    dice_coefficient,
+)
+from .module import Module, Parameter
+from .norm import BatchNorm2d, LayerNorm
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "Upsample2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "GELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "Sequential",
+    "ModuleList",
+    "CrossEntropyLoss",
+    "MaskedLMCrossEntropyLoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "DiceLoss",
+    "dice_coefficient",
+]

@@ -1,0 +1,38 @@
+"""Embedding lookup layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    The forward pass indexes rows of the weight matrix, so the backward pass
+    scatter-adds gradients into the selected rows (sparse update semantics).
+    In the KAISA setup the embedding layer of BERT is *not* preconditioned by
+    K-FAC (the factor would be ``vocab_size x vocab_size``, paper section 5.2).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.02, rng=rng))
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if np.any(indices < 0) or np.any(indices >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

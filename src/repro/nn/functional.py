@@ -1,0 +1,135 @@
+"""Functional building blocks: im2col/col2im, unfold, softmax, gelu, one-hot.
+
+The im2col helpers are shared between the :class:`~repro.nn.conv.Conv2d` layer
+and the K-FAC Conv2d factor computation (the ``A`` factor of a convolution is
+built from the unfolded input patches, Grosse & Martens 2016).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.tensor import Function
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "unfold",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "one_hot",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding convolution patches.
+
+    Parameters
+    ----------
+    x:
+        Input images ``(N, C, H, W)``.
+    kernel:
+        Kernel height/width ``(kh, kw)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patches back into an image."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Unfold(Function):
+    """Differentiable im2col: ``(N,C,H,W) -> (N, C*kh*kw, out_h*out_w)``."""
+
+    def forward(self, x, kernel, stride, padding):
+        cols, out_h, out_w = im2col(x, kernel, stride, padding)
+        self.save_for_backward(x.shape, kernel, stride, padding)
+        return cols
+
+    def backward(self, grad):
+        x_shape, kernel, stride, padding = self.saved
+        return (col2im(grad, x_shape, kernel, stride, padding),)
+
+
+def unfold(x: Tensor, kernel: Tuple[int, int], stride: int = 1, padding: int = 0) -> Tensor:
+    """Differentiable patch extraction on a :class:`Tensor`."""
+    return Unfold.apply(x, kernel=tuple(kernel), stride=int(stride), padding=int(padding))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+_GELU_CONST = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as used in BERT)."""
+    inner = _GELU_CONST * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def one_hot(indices: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """One-hot encode an integer array into ``(*indices.shape, num_classes)``."""
+    indices = np.asarray(indices)
+    out = np.zeros(indices.shape + (num_classes,), dtype=dtype)
+    np.put_along_axis(out, indices[..., None].astype(np.int64), 1.0, axis=-1)
+    return out

@@ -1,0 +1,92 @@
+"""Parameter initialization schemes."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+]
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _GLOBAL_RNG
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight tensor shape."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = int(np.prod(shape[1:]))
+        fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, a: float = math.sqrt(5), rng=None, dtype=np.float32) -> np.ndarray:
+    """He/Kaiming uniform initialization (PyTorch default for conv/linear)."""
+    fan_in, _ = _fan(tuple(shape))
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def kaiming_normal(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """He/Kaiming normal initialization."""
+    fan_in, _ = _fan(tuple(shape))
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return (_rng(rng).standard_normal(shape) * std).astype(dtype)
+
+
+def xavier_uniform(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = _fan(tuple(shape))
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_normal(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fan(tuple(shape))
+    std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return (_rng(rng).standard_normal(shape) * std).astype(dtype)
+
+
+def uniform(shape, low: float, high: float, rng=None, dtype=np.float32) -> np.ndarray:
+    return _rng(rng).uniform(low, high, size=shape).astype(dtype)
+
+
+def normal(shape, mean: float = 0.0, std: float = 0.02, rng=None, dtype=np.float32) -> np.ndarray:
+    return (_rng(rng).standard_normal(shape) * std + mean).astype(dtype)
+
+
+def zeros(shape, dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape, dtype=np.float32) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)
+
+
+def seed(value: int) -> None:
+    """Reseed the module-level RNG used when no generator is supplied."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(value)

@@ -1,0 +1,71 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .module import Module, Parameter
+
+__all__ = ["BatchNorm2d", "LayerNorm"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of ``(N, C, H, W)``."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1, affine: bool = True) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            with no_grad():
+                m = self.momentum
+                batch_mean = mean.data.reshape(-1).astype(np.float32)
+                batch_var = var.data.reshape(-1).astype(np.float32)
+                new_mean = (1 - m) * self._buffers["running_mean"] + m * batch_mean
+                new_var = (1 - m) * self._buffers["running_var"] + m * batch_var
+                self._buffers["running_mean"] = new_mean
+                self._buffers["running_var"] = new_var
+                object.__setattr__(self, "running_mean", new_mean)
+                object.__setattr__(self, "running_var", new_var)
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1).astype(x.dtype))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1).astype(x.dtype))
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        if self.affine:
+            x_hat = x_hat * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(1, -1, 1, 1)
+        return x_hat
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (transformer style)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = int(normalized_shape)
+        self.eps = eps
+        self.weight = Parameter(np.ones(self.normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(self.normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        return x_hat * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

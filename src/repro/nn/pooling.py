@@ -1,0 +1,103 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.tensor import Function
+from .functional import col2im, im2col
+from .module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+class _MaxPoolFn(Function):
+    def forward(self, x, kernel, stride, padding):
+        n, c, h, w = x.shape
+        cols, out_h, out_w = im2col(x, kernel, stride, padding)
+        kh, kw = kernel
+        cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+        self.save_for_backward(x.shape, kernel, stride, padding, argmax, cols.shape)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad):
+        x_shape, kernel, stride, padding, argmax, cols_shape = self.saved
+        n, c, kk, length = cols_shape
+        grad_cols = np.zeros(cols_shape, dtype=grad.dtype)
+        grad_flat = grad.reshape(n, c, length)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kk, length)
+        return (col2im(grad_cols, x_shape, kernel, stride, padding),)
+
+
+class _AvgPoolFn(Function):
+    def forward(self, x, kernel, stride, padding):
+        n, c, h, w = x.shape
+        cols, out_h, out_w = im2col(x, kernel, stride, padding)
+        kh, kw = kernel
+        cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+        out = cols.mean(axis=2)
+        self.save_for_backward(x.shape, kernel, stride, padding, kh * kw, cols.shape)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad):
+        x_shape, kernel, stride, padding, kk, cols_shape = self.saved
+        n, c, _, length = cols_shape
+        grad_cols = np.broadcast_to(
+            grad.reshape(n, c, 1, length) / kk, cols_shape
+        ).astype(grad.dtype)
+        grad_cols = grad_cols.reshape(n, c * kk, length)
+        return (col2im(grad_cols, x_shape, kernel, stride, padding),)
+
+
+class MaxPool2d(Module):
+    """Max pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, kernel_size: Union[int, Tuple[int, int]], stride: int = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size[0]
+        self.padding = int(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _MaxPoolFn.apply(x, kernel=self.kernel_size, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+
+
+class AvgPool2d(Module):
+    """Average pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, kernel_size: Union[int, Tuple[int, int]], stride: int = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size[0]
+        self.padding = int(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _AvgPoolFn.apply(x, kernel=self.kernel_size, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pooling to a ``1x1`` spatial output, flattened to ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

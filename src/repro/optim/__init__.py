@@ -1,0 +1,28 @@
+"""First-order optimizers, LR schedules and AMP loss scaling."""
+
+from .adam import Adam, AdamW
+from .grad_scaler import GradScaler
+from .lamb import LAMB
+from .lr_scheduler import (
+    LRScheduler,
+    WarmupConstant,
+    WarmupCosine,
+    WarmupMultiStep,
+    WarmupPolynomial,
+)
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LAMB",
+    "GradScaler",
+    "LRScheduler",
+    "WarmupConstant",
+    "WarmupCosine",
+    "WarmupMultiStep",
+    "WarmupPolynomial",
+]

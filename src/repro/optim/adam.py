@@ -1,0 +1,62 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with optional L2 weight decay added to the gradient."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"invalid betas {betas}")
+        super().__init__(params, {"lr": lr, "betas": tuple(betas), "eps": eps, "weight_decay": weight_decay})
+
+    decoupled_weight_decay = False
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad.astype(np.float32)
+                data = param.data.astype(np.float32)
+                if weight_decay != 0.0 and not self.decoupled_weight_decay:
+                    grad = grad + weight_decay * data
+                state = self.state_for(param)
+                if "step" not in state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(data)
+                    state["exp_avg_sq"] = np.zeros_like(data)
+                state["step"] += 1
+                step = state["step"]
+                state["exp_avg"] = beta1 * state["exp_avg"] + (1 - beta1) * grad
+                state["exp_avg_sq"] = beta2 * state["exp_avg_sq"] + (1 - beta2) * grad * grad
+                bias1 = 1 - beta1 ** step
+                bias2 = 1 - beta2 ** step
+                update = (state["exp_avg"] / bias1) / (np.sqrt(state["exp_avg_sq"] / bias2) + eps)
+                if weight_decay != 0.0 and self.decoupled_weight_decay:
+                    update = update + weight_decay * data
+                param.data = (data - lr * update).astype(param.data.dtype)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter 2019)."""
+
+    decoupled_weight_decay = True

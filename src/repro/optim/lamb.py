@@ -1,0 +1,76 @@
+"""LAMB optimizer (You et al. 2019), the paper's BERT baseline ("Fused LAMB")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+__all__ = ["LAMB"]
+
+
+class LAMB(Optimizer):
+    """Layer-wise Adaptive Moments for large-batch training.
+
+    The per-layer trust ratio ``||w|| / ||update||`` rescales the Adam-style
+    update, which is what allows BERT pretraining with batch sizes of 32K+.
+    The paper uses NVIDIA's Fused LAMB; this is a functionally equivalent
+    unfused implementation.
+    """
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        clamp_trust_ratio: tuple[float, float] = (0.0, 10.0),
+    ) -> None:
+        super().__init__(
+            params,
+            {
+                "lr": lr,
+                "betas": tuple(betas),
+                "eps": eps,
+                "weight_decay": weight_decay,
+                "clamp_trust_ratio": tuple(clamp_trust_ratio),
+            },
+        )
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            low, high = group["clamp_trust_ratio"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad.astype(np.float32)
+                data = param.data.astype(np.float32)
+                state = self.state_for(param)
+                if "step" not in state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(data)
+                    state["exp_avg_sq"] = np.zeros_like(data)
+                state["step"] += 1
+                step = state["step"]
+                state["exp_avg"] = beta1 * state["exp_avg"] + (1 - beta1) * grad
+                state["exp_avg_sq"] = beta2 * state["exp_avg_sq"] + (1 - beta2) * grad * grad
+                m_hat = state["exp_avg"] / (1 - beta1 ** step)
+                v_hat = state["exp_avg_sq"] / (1 - beta2 ** step)
+                update = m_hat / (np.sqrt(v_hat) + eps)
+                if weight_decay != 0.0:
+                    update = update + weight_decay * data
+
+                weight_norm = float(np.linalg.norm(data))
+                update_norm = float(np.linalg.norm(update))
+                if weight_norm > 0.0 and update_norm > 0.0:
+                    trust_ratio = weight_norm / update_norm
+                    if high > 0:
+                        trust_ratio = min(max(trust_ratio, low), high)
+                else:
+                    trust_ratio = 1.0
+                param.data = (data - lr * trust_ratio * update).astype(param.data.dtype)

@@ -1,0 +1,90 @@
+"""Learning-rate schedules with linear warmup (Table 2 uses warmup for every app)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .optimizer import Optimizer
+
+__all__ = ["LRScheduler", "WarmupConstant", "WarmupCosine", "WarmupMultiStep", "WarmupPolynomial"]
+
+
+class LRScheduler:
+    """Base class: scales each group's base LR by ``factor(step)`` every step."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int = 0) -> None:
+        self.optimizer = optimizer
+        self.warmup_steps = int(warmup_steps)
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_step = 0
+
+    def factor(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def warmup_factor(self, step: int) -> float:
+        if self.warmup_steps <= 0 or step >= self.warmup_steps:
+            return 1.0
+        return float(step + 1) / float(self.warmup_steps)
+
+    def get_lr(self) -> list[float]:
+        scale = self.warmup_factor(self.last_step) * self.factor(self.last_step)
+        return [base * scale for base in self.base_lrs]
+
+    def step(self) -> None:
+        """Advance one training iteration and update the optimizer's LR."""
+        self.last_step += 1
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
+
+class WarmupConstant(LRScheduler):
+    """Linear warmup followed by a constant learning rate."""
+
+    def factor(self, step: int) -> float:
+        return 1.0
+
+
+class WarmupCosine(LRScheduler):
+    """Linear warmup followed by cosine decay to ``min_factor`` at ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int = 0, min_factor: float = 0.0) -> None:
+        super().__init__(optimizer, warmup_steps)
+        self.total_steps = max(int(total_steps), 1)
+        self.min_factor = float(min_factor)
+
+    def factor(self, step: int) -> float:
+        if step >= self.total_steps:
+            return self.min_factor
+        progress = max(step - self.warmup_steps, 0) / max(self.total_steps - self.warmup_steps, 1)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_factor + (1.0 - self.min_factor) * cosine
+
+
+class WarmupMultiStep(LRScheduler):
+    """Linear warmup followed by step decay at the given milestones (ResNet schedule)."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1, warmup_steps: int = 0) -> None:
+        super().__init__(optimizer, warmup_steps)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def factor(self, step: int) -> float:
+        passed = sum(1 for milestone in self.milestones if step >= milestone)
+        return self.gamma ** passed
+
+
+class WarmupPolynomial(LRScheduler):
+    """Linear warmup followed by polynomial decay (the BERT/LAMB schedule)."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int = 0, power: float = 1.0, end_factor: float = 0.0) -> None:
+        super().__init__(optimizer, warmup_steps)
+        self.total_steps = max(int(total_steps), 1)
+        self.power = float(power)
+        self.end_factor = float(end_factor)
+
+    def factor(self, step: int) -> float:
+        if step >= self.total_steps:
+            return self.end_factor
+        remaining = 1.0 - max(step - self.warmup_steps, 0) / max(self.total_steps - self.warmup_steps, 1)
+        return self.end_factor + (1.0 - self.end_factor) * (remaining ** self.power)

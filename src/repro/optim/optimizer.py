@@ -1,0 +1,76 @@
+"""Optimizer base class with parameter groups."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+ParamsLike = Union[Iterable[Parameter], Iterable[Dict]]
+
+
+class Optimizer:
+    """Base optimizer: holds parameter groups and per-parameter state.
+
+    KAISA is *not* an optimizer itself — it is a preconditioner whose
+    ``step()`` is called right before the optimizer's ``step()`` (Listing 1 in
+    the paper), so any optimizer defined here composes with K-FAC unchanged.
+    """
+
+    def __init__(self, params: ParamsLike, defaults: Dict) -> None:
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        self.state: Dict[int, Dict] = {}
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(dict(group))
+        else:
+            self.add_param_group({"params": params})
+
+    def add_param_group(self, group: Dict) -> None:
+        if "params" not in group:
+            raise ValueError("param group must contain a 'params' key")
+        group["params"] = list(group["params"])
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        self.param_groups.append(group)
+
+    def parameters(self) -> Iterable[Parameter]:
+        for group in self.param_groups:
+            yield from group["params"]
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters():
+            param.grad = None
+
+    def state_for(self, param: Parameter) -> Dict:
+        """Per-parameter optimizer state (lazily created)."""
+        return self.state.setdefault(id(param), {})
+
+    def state_bytes(self) -> int:
+        """Total bytes of optimizer state (momentum buffers etc.), for the memory model."""
+        total = 0
+        for entry in self.state.values():
+            for value in entry.values():
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        return total
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def grad_norm(self) -> float:
+        """Global L2 norm of all gradients (useful for clipping / logging)."""
+        total = 0.0
+        for param in self.parameters():
+            if param.grad is not None:
+                total += float(np.sum(param.grad.astype(np.float64) ** 2))
+        return float(np.sqrt(total))

@@ -1,0 +1,5 @@
+"""Profiling utilities."""
+
+from .timer import StageProfiler
+
+__all__ = ["StageProfiler"]

@@ -1,0 +1,54 @@
+"""Wall-clock stage profiling for KFAC.step() (Figure 7)."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import defaultdict
+from typing import Dict, Iterator, List
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Collects wall-clock durations per named region.
+
+    Passed to :class:`repro.kfac.KFAC` as ``profiler=...``; each stage of
+    ``KFAC.step()`` is wrapped in :meth:`region`, producing the per-stage
+    execution times reported in the paper's Figure 7.
+    """
+
+    def __init__(self) -> None:
+        self._durations: Dict[str, List[float]] = defaultdict(list)
+
+    @contextlib.contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._durations[name].append(time.perf_counter() - start)
+
+    def record(self, name: str, duration: float) -> None:
+        """Record an externally measured duration."""
+        self._durations[name].append(float(duration))
+
+    def count(self, name: str) -> int:
+        return len(self._durations.get(name, ()))
+
+    def total(self, name: str) -> float:
+        return float(sum(self._durations.get(name, ())))
+
+    def mean(self, name: str) -> float:
+        values = self._durations.get(name, ())
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def stages(self) -> List[str]:
+        return list(self._durations.keys())
+
+    def summary(self, per_call: bool = True) -> Dict[str, float]:
+        """Mean (or total) duration per stage."""
+        return {name: (self.mean(name) if per_call else self.total(name)) for name in self._durations}
+
+    def reset(self) -> None:
+        self._durations.clear()

@@ -1,0 +1,28 @@
+"""Tensor and autograd substrate for the KAISA reproduction."""
+
+from .dtypes import (
+    PrecisionPolicy,
+    dtype_size,
+    float16,
+    float32,
+    float64,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from .tensor import Function, Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "PrecisionPolicy",
+    "float16",
+    "float32",
+    "float64",
+    "get_default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
+    "dtype_size",
+]

@@ -1,0 +1,610 @@
+"""A small reverse-mode automatic differentiation engine on NumPy arrays.
+
+This is the framework substrate for the KAISA reproduction.  The design
+mirrors the parts of PyTorch that K-FAC relies on:
+
+* a ``Tensor`` that records the operation (``Function``) that produced it,
+* ``Tensor.backward()`` that walks the tape in reverse topological order,
+* ``Tensor.register_hook`` so a preconditioner can capture the gradient with
+  respect to a layer *output* (the ``g`` in the Kronecker factor ``G = g gᵀ``),
+* a ``no_grad`` context manager used for evaluation and factor bookkeeping.
+
+Only floating point dtypes are supported; integer inputs (e.g. token ids or
+class labels) are passed around as plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .dtypes import get_default_dtype, resolve_dtype
+
+__all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking inside its block."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record autograd history."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, reversing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward`` (returning a numpy array) and
+    ``backward`` (returning one gradient array, or ``None``, per parent).
+    """
+
+    def __init__(self, *parents: "Tensor"):
+        self.parents = parents
+        self.saved: tuple = ()
+
+    def save_for_backward(self, *values) -> None:
+        self.saved = values
+
+    def forward(self, *args, **kwargs) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> "Tensor":
+        tensor_args = [a for a in args if isinstance(a, Tensor)]
+        ctx = cls(*tensor_args)
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = ctx.forward(*raw, **kwargs)
+        requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensor_args)
+        out = Tensor(out_data, requires_grad=requires_grad, _copy=False)
+        if requires_grad:
+            out._ctx = ctx
+        return out
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode autograd support."""
+
+    __slots__ = ("data", "requires_grad", "grad", "_ctx", "_hooks")
+    __array_priority__ = 100.0  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None, _copy: bool = True):
+        if isinstance(data, Tensor):
+            data = data.data
+        if dtype is not None:
+            arr = np.asarray(data, dtype=resolve_dtype(dtype))
+        else:
+            was_ndarray = isinstance(data, (np.ndarray, np.generic))
+            arr = np.asarray(data)
+            if arr.dtype.kind != "f" or not was_ndarray:
+                # Lists/scalars default to float32; existing float arrays keep their dtype.
+                arr = arr.astype(get_default_dtype())
+        if _copy and arr is data:
+            arr = np.array(arr)
+        self.data: np.ndarray = arr
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._ctx: Optional[Function] = None
+        self._hooks: list[Callable[[np.ndarray], None]] = []
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False, _copy=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, _copy=False)
+
+    def astype(self, dtype) -> "Tensor":
+        return Cast.apply(self, dtype=resolve_dtype(dtype))
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def register_hook(self, hook: Callable[[np.ndarray], None]) -> None:
+        """Register ``hook(grad)`` to be called when this tensor's gradient is computed."""
+        self._hooks.append(hook)
+
+    # -------------------------------------------------------------- backward
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node._ctx is not None:
+                for parent in node._ctx.parents:
+                    if parent.requires_grad and id(parent) not in visited:
+                        stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            for hook in node._hooks:
+                hook(node_grad)
+            if node._ctx is None:
+                # Leaf tensor: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.astype(node.data.dtype, copy=True)
+                else:
+                    node.grad = node.grad + node_grad.astype(node.data.dtype)
+                continue
+            parent_grads = node._ctx.backward(node_grad)
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            for parent, pgrad in zip(node._ctx.parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other) -> "Tensor":
+        return Add.apply(self, _as_tensor(other, self.dtype))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        return Sub.apply(self, _as_tensor(other, self.dtype))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Sub.apply(_as_tensor(other, self.dtype), self)
+
+    def __mul__(self, other) -> "Tensor":
+        return Mul.apply(self, _as_tensor(other, self.dtype))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        return Div.apply(self, _as_tensor(other, self.dtype))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Div.apply(_as_tensor(other, self.dtype), self)
+
+    def __neg__(self) -> "Tensor":
+        return Neg.apply(self)
+
+    def __pow__(self, exponent) -> "Tensor":
+        return Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other) -> "Tensor":
+        return MatMul.apply(self, _as_tensor(other, self.dtype))
+
+    def __getitem__(self, index) -> "Tensor":
+        return GetItem.apply(self, index=index)
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    # ------------------------------------------------------------- shape ops
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 2 and self.ndim != 2:
+            order = list(range(self.ndim))
+            order[axes[0]], order[axes[1]] = order[axes[1]], order[axes[0]]
+            axes = tuple(order)
+        elif len(axes) != self.ndim:
+            raise ValueError("transpose axes must cover every dimension")
+        return Transpose.apply(self, axes=axes)
+
+    def pad(self, pad_width) -> "Tensor":
+        return Pad.apply(self, pad_width=tuple(tuple(p) for p in pad_width))
+
+    # ---------------------------------------------------------- element-wise
+    def exp(self) -> "Tensor":
+        return Exp.apply(self)
+
+    def log(self) -> "Tensor":
+        return Log.apply(self)
+
+    def sqrt(self) -> "Tensor":
+        return Pow.apply(self, exponent=0.5)
+
+    def relu(self) -> "Tensor":
+        return ReLU.apply(self)
+
+    def sigmoid(self) -> "Tensor":
+        return Sigmoid.apply(self)
+
+    def tanh(self) -> "Tensor":
+        return Tanh.apply(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        return Clip.apply(self, low=float(low), high=float(high))
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def zeros(*shape, dtype=None, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad, _copy=False)
+
+    @staticmethod
+    def ones(*shape, dtype=None, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad, _copy=False)
+
+    @staticmethod
+    def randn(*shape, dtype=None, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        data = rng.standard_normal(shape).astype(resolve_dtype(dtype))
+        return Tensor(data, requires_grad=requires_grad, _copy=False)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        return Concatenate.apply(*tensors, axis=axis)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        return Tensor.concatenate([t.reshape(*t.shape[:axis], 1, *t.shape[axis:]) for t in tensors], axis=axis)
+
+
+def _as_tensor(value, dtype) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype), _copy=False)
+
+
+# --------------------------------------------------------------------------
+# Elementary differentiable operations
+# --------------------------------------------------------------------------
+class Add(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return _unbroadcast(grad, a_shape), _unbroadcast(grad, b_shape)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return _unbroadcast(grad, a_shape), _unbroadcast(-grad, b_shape)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return _unbroadcast(grad * b, a.shape), _unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return (
+            _unbroadcast(grad / b, a.shape),
+            _unbroadcast(-grad * a / (b * b), b.shape),
+        )
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def forward(self, a, exponent):
+        self.save_for_backward(a, exponent)
+        return a ** exponent
+
+    def backward(self, grad):
+        a, exponent = self.saved
+        return (grad * exponent * np.power(a, exponent - 1.0),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class Clip(Function):
+    def forward(self, a, low, high):
+        mask = (a >= low) & (a <= high)
+        self.save_for_backward(mask)
+        return np.clip(a, low, high)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class Cast(Function):
+    def forward(self, a, dtype):
+        self.save_for_backward(a.dtype)
+        return a.astype(dtype)
+
+    def backward(self, grad):
+        (dtype,) = self.saved
+        return (grad.astype(dtype),)
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        if a.ndim == 2 and b.ndim == 2:
+            return grad @ b.T, a.T @ grad
+        # Batched matmul: contract over batch dimensions as needed.
+        grad_a = grad @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad
+        return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
+
+
+class Sum(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(a % len(shape) for a in axes):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).astype(grad.dtype, copy=False),)
+
+
+class Mean(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims, a.size)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims, total = self.saved
+        if axis is None:
+            count = total
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([shape[a] for a in axes]))
+            if not keepdims:
+                for ax in sorted(a % len(shape) for a in axes):
+                    grad = np.expand_dims(grad, ax)
+        return ((np.broadcast_to(grad, shape) / count).astype(grad.dtype, copy=False),)
+
+
+class Max(Function):
+    def forward(self, a, axis, keepdims):
+        out = a.max(axis=axis, keepdims=True)
+        mask = (a == out)
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+        self.save_for_backward(mask, axis, keepdims, a.shape)
+        if not keepdims:
+            out = np.squeeze(out, axis=axis) if axis is not None else out.reshape(())
+        return out
+
+    def backward(self, grad):
+        mask, axis, keepdims, shape = self.saved
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(a % len(shape) for a in axes):
+                grad = np.expand_dims(grad, ax)
+        return ((np.broadcast_to(grad, shape) * mask).astype(mask.dtype, copy=False),)
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad):
+        (shape,) = self.saved
+        return (grad.reshape(shape),)
+
+
+class Transpose(Function):
+    def forward(self, a, axes):
+        self.save_for_backward(axes)
+        return np.transpose(a, axes)
+
+    def backward(self, grad):
+        (axes,) = self.saved
+        return (np.transpose(grad, np.argsort(axes)),)
+
+
+class Pad(Function):
+    def forward(self, a, pad_width):
+        self.save_for_backward(pad_width, a.shape)
+        return np.pad(a, pad_width)
+
+    def backward(self, grad):
+        pad_width, shape = self.saved
+        slices = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, shape))
+        return (grad[slices],)
+
+
+class GetItem(Function):
+    def forward(self, a, index):
+        self.save_for_backward(a.shape, a.dtype, index)
+        return a[index]
+
+    def backward(self, grad):
+        shape, dtype, index = self.saved
+        out = np.zeros(shape, dtype=dtype)
+        np.add.at(out, index, grad)
+        return (out,)
+
+
+class Concatenate(Function):
+    def forward(self, *arrays, axis):
+        self.save_for_backward(axis, [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad):
+        axis, sizes = self.saved
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=axis))

@@ -1,0 +1,98 @@
+"""Training curves and time/iterations-to-convergence bookkeeping.
+
+The paper's headline results are all expressed as "iterations (or epochs, or
+minutes) to reach the baseline validation metric" — Figures 1 and 5, Tables 3
+and 4.  :class:`TrainingCurve` records the validation metric against
+iteration count, epoch and (optionally simulated) wall-clock time, and
+answers the convergence questions the benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CurvePoint", "TrainingCurve"]
+
+
+@dataclass
+class CurvePoint:
+    """One validation measurement."""
+
+    iteration: int
+    epoch: float
+    metric: float
+    train_loss: Optional[float] = None
+    wall_time: float = 0.0
+    simulated_time: float = 0.0
+
+
+@dataclass
+class TrainingCurve:
+    """Sequence of validation measurements for one training run."""
+
+    name: str
+    higher_is_better: bool = True
+    points: List[CurvePoint] = field(default_factory=list)
+
+    def record(
+        self,
+        iteration: int,
+        epoch: float,
+        metric: float,
+        train_loss: Optional[float] = None,
+        wall_time: float = 0.0,
+        simulated_time: float = 0.0,
+    ) -> None:
+        self.points.append(
+            CurvePoint(
+                iteration=iteration,
+                epoch=epoch,
+                metric=metric,
+                train_loss=train_loss,
+                wall_time=wall_time,
+                simulated_time=simulated_time,
+            )
+        )
+
+    def _reached(self, point: CurvePoint, target: float) -> bool:
+        return point.metric >= target if self.higher_is_better else point.metric <= target
+
+    @property
+    def best_metric(self) -> float:
+        if not self.points:
+            raise ValueError("curve is empty")
+        values = [p.metric for p in self.points]
+        return max(values) if self.higher_is_better else min(values)
+
+    @property
+    def final_metric(self) -> float:
+        if not self.points:
+            raise ValueError("curve is empty")
+        return self.points[-1].metric
+
+    def reached(self, target: float) -> bool:
+        return any(self._reached(p, target) for p in self.points)
+
+    def first_point_reaching(self, target: float) -> Optional[CurvePoint]:
+        for point in self.points:
+            if self._reached(point, target):
+                return point
+        return None
+
+    def iterations_to_target(self, target: float) -> Optional[int]:
+        point = self.first_point_reaching(target)
+        return point.iteration if point is not None else None
+
+    def epochs_to_target(self, target: float) -> Optional[float]:
+        point = self.first_point_reaching(target)
+        return point.epoch if point is not None else None
+
+    def time_to_target(self, target: float, simulated: bool = False) -> Optional[float]:
+        point = self.first_point_reaching(target)
+        if point is None:
+            return None
+        return point.simulated_time if simulated else point.wall_time
+
+    def metric_series(self) -> List[float]:
+        return [p.metric for p in self.points]

@@ -1,0 +1,157 @@
+"""Training loop used by the examples, tests and benchmarks.
+
+The loop follows the paper's Listing 1 ordering exactly: backward, gradient
+allreduce (data parallel), ``preconditioner.step()``, ``optimizer.step()``.
+Gradient accumulation (section 4.2) and AMP loss scaling (section 4.1) slot
+in around that ordering the same way they do in the reference implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..distributed.backend import Communicator
+from ..distributed.ddp import allreduce_gradients
+from ..nn.module import Module
+from ..optim.grad_scaler import GradScaler
+from ..optim.lr_scheduler import LRScheduler
+from ..optim.optimizer import Optimizer
+from .convergence import TrainingCurve
+
+__all__ = ["Trainer"]
+
+ForwardLoss = Callable[[Module, object], "object"]
+EvaluateFn = Callable[[Module], float]
+
+
+class Trainer:
+    """Generic trainer that composes a model, an optimizer and (optionally) KAISA.
+
+    Parameters
+    ----------
+    forward_loss:
+        ``forward_loss(model, batch) -> loss Tensor``; the trainer stays
+        agnostic of the workload's batch structure.
+    preconditioner:
+        Optional :class:`repro.kfac.KFAC` instance; its ``step()`` is invoked
+        between the gradient synchronization and the optimizer step.
+    iteration_time:
+        Optional simulated seconds per iteration (from
+        :class:`repro.kfac.IterationTimeModel`), used to accumulate the
+        simulated wall-clock recorded in training curves.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        forward_loss: ForwardLoss,
+        preconditioner=None,
+        lr_scheduler: Optional[LRScheduler] = None,
+        grad_scaler: Optional[GradScaler] = None,
+        comm: Optional[Communicator] = None,
+        grad_accumulation_steps: int = 1,
+        iteration_time: Optional[float] = None,
+    ) -> None:
+        if grad_accumulation_steps < 1:
+            raise ValueError("grad_accumulation_steps must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.forward_loss = forward_loss
+        self.preconditioner = preconditioner
+        self.lr_scheduler = lr_scheduler
+        self.grad_scaler = grad_scaler
+        self.comm = comm
+        self.grad_accumulation_steps = int(grad_accumulation_steps)
+        self.iteration_time = iteration_time
+        self.iterations = 0
+        self.simulated_time = 0.0
+        self._start_time = time.perf_counter()
+
+    # ------------------------------------------------------------------ step
+    def train_step(self, batches) -> float:
+        """One optimization step over one batch (or a list of micro-batches)."""
+        # A plain batch is passed as-is; gradient accumulation passes an explicit
+        # *list* of micro-batches (tuples/dicts are single batches).
+        micro_batches: Sequence = batches if isinstance(batches, list) else [batches]
+        self.model.train()
+        self.optimizer.zero_grad()
+        total_loss = 0.0
+        for micro in micro_batches:
+            loss = self.forward_loss(self.model, micro)
+            total_loss += float(loss.item())
+            if self.grad_scaler is not None:
+                self.grad_scaler.scale(loss).backward()
+            else:
+                loss.backward()
+        if len(micro_batches) > 1:
+            # Average accumulated gradients so the effective loss is the mean.
+            scale = 1.0 / len(micro_batches)
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+        if self.comm is not None:
+            allreduce_gradients(self.model, self.comm)
+        if self.grad_scaler is not None:
+            self.grad_scaler.unscale_(self.optimizer)
+        if self.preconditioner is not None:
+            lr = self.optimizer.param_groups[0]["lr"]
+            self.preconditioner.step(lr=lr)
+        if self.grad_scaler is not None:
+            self.grad_scaler.step(self.optimizer)
+            self.grad_scaler.update()
+        else:
+            self.optimizer.step()
+        if self.lr_scheduler is not None:
+            self.lr_scheduler.step()
+        self.iterations += 1
+        if self.iteration_time is not None:
+            self.simulated_time += self.iteration_time
+        return total_loss / len(micro_batches)
+
+    # ------------------------------------------------------------------- fit
+    def fit(
+        self,
+        train_loader: Iterable,
+        epochs: int,
+        evaluate_fn: Optional[EvaluateFn] = None,
+        curve: Optional[TrainingCurve] = None,
+        eval_every_epochs: int = 1,
+        target_metric: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+    ) -> TrainingCurve:
+        """Train for ``epochs`` epochs, recording the validation curve.
+
+        Stops early when ``target_metric`` is reached (if given) or when
+        ``max_iterations`` optimization steps have run.
+        """
+        if curve is None:
+            curve = TrainingCurve(name="training")
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for batch in train_loader:
+                epoch_loss += self.train_step(batch)
+                batches += 1
+                if max_iterations is not None and self.iterations >= max_iterations:
+                    break
+            mean_loss = epoch_loss / max(batches, 1)
+            if evaluate_fn is not None and (epoch + 1) % eval_every_epochs == 0:
+                self.model.eval()
+                metric = float(evaluate_fn(self.model))
+                curve.record(
+                    iteration=self.iterations,
+                    epoch=float(epoch + 1),
+                    metric=metric,
+                    train_loss=mean_loss,
+                    wall_time=time.perf_counter() - self._start_time,
+                    simulated_time=self.simulated_time,
+                )
+                if target_metric is not None and curve.reached(target_metric):
+                    break
+            if max_iterations is not None and self.iterations >= max_iterations:
+                break
+        return curve

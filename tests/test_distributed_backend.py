@@ -1,0 +1,242 @@
+"""Tests for the communication backends, cost model and data-parallel helpers."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    A100,
+    EDR_INFINIBAND,
+    ETHERNET_10G,
+    V100,
+    CommunicationLog,
+    DistributedSampler,
+    PerformanceModel,
+    SingleProcessCommunicator,
+    ThreadedWorld,
+    flatten_arrays,
+    run_spmd,
+    shard_batch,
+    unflatten_array,
+)
+
+
+class TestPerformanceModel:
+    def test_allreduce_zero_for_single_rank(self):
+        assert PerformanceModel().allreduce_time(1e6, 1) == 0.0
+
+    def test_allreduce_scales_with_bytes(self):
+        model = PerformanceModel()
+        assert model.allreduce_time(2e6, 8) > model.allreduce_time(1e6, 8)
+
+    def test_allreduce_latency_grows_with_world(self):
+        model = PerformanceModel()
+        assert model.allreduce_time(1e3, 64) > model.allreduce_time(1e3, 4)
+
+    def test_broadcast_log_scaling(self):
+        model = PerformanceModel()
+        t2 = model.broadcast_time(1e6, 2)
+        t8 = model.broadcast_time(1e6, 8)
+        t64 = model.broadcast_time(1e6, 64)
+        assert t2 < t8 < t64
+        # O(log p): doubling group size beyond a power of two adds one hop.
+        assert t64 / t2 == pytest.approx(6.0, rel=0.01)
+
+    def test_broadcast_single_rank_free(self):
+        assert PerformanceModel().broadcast_time(1e6, 1) == 0.0
+
+    def test_compute_time_uses_fp16_peak(self):
+        model = PerformanceModel(device=A100)
+        assert model.compute_time(1e12, dtype_bytes=2) < model.compute_time(1e12, dtype_bytes=4)
+
+    def test_eigen_time_cubic_growth(self):
+        model = PerformanceModel()
+        assert model.eigen_decomposition_time(512) / model.eigen_decomposition_time(256) == pytest.approx(8.0, rel=0.01)
+
+    def test_slow_network_increases_comm_cost(self):
+        fast = PerformanceModel(network=EDR_INFINIBAND)
+        slow = PerformanceModel(network=ETHERNET_10G)
+        assert slow.allreduce_time(1e8, 16) > fast.allreduce_time(1e8, 16)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(compute_efficiency=0.0)
+
+    def test_device_specs(self):
+        assert A100.memory_bytes > V100.memory_bytes
+        assert V100.peak_flops(2) == V100.peak_flops_fp16
+
+
+class TestCommunicationLog:
+    def test_records_events_and_bytes(self):
+        log = CommunicationLog(4, PerformanceModel())
+        log.record_collective("allreduce", 1000, [0, 1, 2, 3])
+        log.record_collective("broadcast", 500, [0, 1])
+        assert log.total_bytes() == 1500
+        assert log.bytes_by_op["allreduce"] == 1000
+        assert len(log.events) == 2
+
+    def test_comm_time_charged_to_participants_only(self):
+        log = CommunicationLog(4, PerformanceModel())
+        log.record_collective("broadcast", 10_000, [1, 2])
+        assert log.comm_time[1] > 0 and log.comm_time[2] > 0
+        assert log.comm_time[0] == 0 and log.comm_time[3] == 0
+
+    def test_iteration_time_is_makespan(self):
+        log = CommunicationLog(2)
+        log.record_compute(0, 1.0)
+        log.record_compute(1, 3.0)
+        assert log.iteration_time() == pytest.approx(3.0)
+
+    def test_reset(self):
+        log = CommunicationLog(2, PerformanceModel())
+        log.record_collective("allreduce", 100, [0, 1])
+        log.reset()
+        assert log.total_bytes() == 0 and log.iteration_time() == 0.0
+
+    def test_no_cost_model_zero_time(self):
+        log = CommunicationLog(2)
+        duration = log.record_collective("allreduce", 100, [0, 1])
+        assert duration == 0.0
+
+
+class TestSingleProcessCommunicator:
+    def test_identity_semantics(self):
+        comm = SingleProcessCommunicator()
+        data = np.arange(4.0)
+        assert comm.world_size == 1 and comm.rank == 0
+        np.testing.assert_array_equal(comm.allreduce_average(data), data)
+        np.testing.assert_array_equal(comm.broadcast(data, src=0), data)
+        comm.barrier()
+
+    def test_broadcast_requires_value(self):
+        with pytest.raises(ValueError):
+            SingleProcessCommunicator().broadcast(None, src=0)
+
+
+class TestThreadedWorld:
+    def test_allreduce_average_across_ranks(self):
+        def program(comm):
+            value = np.full(4, float(comm.rank), dtype=np.float32)
+            return comm.allreduce_average(value)
+
+        results = run_spmd(4, program)
+        for result in results:
+            np.testing.assert_allclose(result, 1.5)
+
+    def test_allreduce_sum(self):
+        def program(comm):
+            return comm.allreduce_sum(np.array([1.0], dtype=np.float32))
+
+        results = run_spmd(3, program)
+        for result in results:
+            np.testing.assert_allclose(result, 3.0)
+
+    def test_broadcast_from_source(self):
+        def program(comm):
+            value = np.arange(5, dtype=np.float32) if comm.rank == 2 else None
+            return comm.broadcast(value, src=2)
+
+        for result in run_spmd(4, program):
+            np.testing.assert_allclose(result, np.arange(5))
+
+    def test_subgroup_collectives_are_independent(self):
+        def program(comm):
+            group = (0, 1) if comm.rank < 2 else (2, 3)
+            value = np.array([float(comm.rank)], dtype=np.float32)
+            return comm.allreduce_average(value, group=group)
+
+        results = run_spmd(4, program)
+        np.testing.assert_allclose(results[0], 0.5)
+        np.testing.assert_allclose(results[2], 2.5)
+
+    def test_sequence_of_collectives_stays_matched(self):
+        def program(comm):
+            outputs = []
+            for step in range(5):
+                outputs.append(comm.allreduce_average(np.array([float(comm.rank + step)], dtype=np.float32))[0])
+            return outputs
+
+        results = run_spmd(3, program)
+        assert results[0] == results[1] == results[2]
+
+    def test_rank_not_in_group_rejected(self):
+        world = ThreadedWorld(2)
+        comm = world.communicator(0)
+        with pytest.raises(ValueError):
+            comm.allreduce_average(np.zeros(1), group=(1,))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            ThreadedWorld(2).communicator(5)
+
+    def test_comm_log_records_collectives(self):
+        world = ThreadedWorld(2, cost_model=PerformanceModel())
+
+        def program(comm):
+            return comm.allreduce_average(np.ones(1024, dtype=np.float32))
+
+        import threading
+
+        threads = [threading.Thread(target=lambda r=r: program(world.communicator(r))) for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert world.log.bytes_by_op.get("allreduce", 0) == 1024 * 4
+        assert world.log.iteration_time() > 0
+
+    def test_failing_rank_propagates_error(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return None
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, program)
+
+
+class TestFlattenAndSampler:
+    def test_flatten_unflatten_roundtrip(self):
+        arrays = [np.random.default_rng(0).random((3, 4)).astype(np.float32), np.arange(5, dtype=np.float32)]
+        flat = flatten_arrays(arrays)
+        restored = unflatten_array(flat, [a.shape for a in arrays])
+        for original, back in zip(arrays, restored):
+            np.testing.assert_allclose(original, back)
+
+    def test_unflatten_size_mismatch(self):
+        with pytest.raises(ValueError):
+            unflatten_array(np.zeros(5), [(2, 2)])
+
+    def test_shard_batch_covers_everything(self):
+        slices = [shard_batch(10, rank, 3) for rank in range(3)]
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert sorted(covered) == list(range(10))
+
+    def test_shard_batch_even_split(self):
+        s = shard_batch(8, 1, 4)
+        assert s.stop - s.start == 2
+
+    def test_distributed_sampler_partitions_indices(self):
+        samplers = [DistributedSampler(100, rank=r, world_size=4, shuffle=False) for r in range(4)]
+        all_indices = np.concatenate([s.indices() for s in samplers])
+        assert len(all_indices) == 100
+        assert set(all_indices.tolist()) == set(range(100))
+
+    def test_distributed_sampler_epoch_changes_order(self):
+        sampler = DistributedSampler(64, rank=0, world_size=2, shuffle=True, seed=3)
+        sampler.set_epoch(0)
+        first = sampler.indices().copy()
+        sampler.set_epoch(1)
+        second = sampler.indices()
+        assert not np.array_equal(first, second)
+
+    def test_distributed_sampler_pads_uneven(self):
+        samplers = [DistributedSampler(10, rank=r, world_size=3, shuffle=False) for r in range(3)]
+        lengths = [len(s.indices()) for s in samplers]
+        assert len(set(lengths)) == 1  # every rank sees the same count
+
+    def test_sampler_invalid_rank(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(10, rank=5, world_size=2)

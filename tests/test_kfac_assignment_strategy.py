@@ -1,0 +1,214 @@
+"""Tests for the greedy factor assignment (section 3.2) and distribution strategies (section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kfac import DistributionStrategy, LayerShapeInfo, greedy_lpt_assignment, makespan, round_robin_assignment
+from repro.kfac.assignment import AssignmentResult
+
+
+def layer(name, a_dim, g_dim):
+    return LayerShapeInfo(name=name, a_dim=a_dim, g_dim=g_dim, grad_numel=a_dim * g_dim)
+
+
+LAYERS = [layer("l0", 64, 32), layer("l1", 128, 64), layer("l2", 32, 16), layer("l3", 256, 128), layer("l4", 16, 8)]
+
+
+class TestGreedyLPT:
+    def test_all_jobs_assigned(self):
+        costs = {f"job{i}": float(i + 1) for i in range(7)}
+        result = greedy_lpt_assignment(costs, 3)
+        assert set(result.assignment) == set(costs)
+        assert all(0 <= worker < 3 for worker in result.assignment.values())
+
+    def test_single_worker_gets_everything(self):
+        costs = {"a": 2.0, "b": 5.0}
+        result = greedy_lpt_assignment(costs, 1)
+        assert result.makespan == pytest.approx(7.0)
+
+    def test_largest_job_lower_bound(self):
+        costs = {"big": 100.0, "s1": 1.0, "s2": 1.0}
+        result = greedy_lpt_assignment(costs, 2)
+        assert result.makespan == pytest.approx(100.0)
+
+    def test_balanced_jobs_spread_evenly(self):
+        costs = {f"j{i}": 1.0 for i in range(8)}
+        result = greedy_lpt_assignment(costs, 4)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_deterministic_across_calls(self):
+        costs = {f"j{i}": float((i * 7) % 5 + 1) for i in range(20)}
+        a = greedy_lpt_assignment(costs, 4).assignment
+        b = greedy_lpt_assignment(costs, 4).assignment
+        assert a == b
+
+    def test_better_or_equal_to_round_robin_on_skewed_input(self):
+        costs = {f"j{i}": float(2 ** (i % 6)) for i in range(24)}
+        lpt = greedy_lpt_assignment(costs, 6).makespan
+        rr = round_robin_assignment(costs, 6).makespan
+        assert lpt <= rr
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            greedy_lpt_assignment({"a": 1.0}, 0)
+
+    def test_jobs_for_worker(self):
+        costs = {"a": 5.0, "b": 1.0}
+        result = greedy_lpt_assignment(costs, 2)
+        assert result.jobs_for(result.assignment["a"]) == ["a"]
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lpt_within_theoretical_bound(self, costs_list, workers):
+        """LPT guarantees makespan <= 4/3 - 1/(3m) of optimal; we check against the
+        weaker but easily computable lower bound max(largest job, total/m)."""
+        costs = {f"j{i}": c for i, c in enumerate(costs_list)}
+        result = greedy_lpt_assignment(costs, workers)
+        lower_bound = max(max(costs_list), sum(costs_list) / workers)
+        assert result.makespan <= (4.0 / 3.0) * lower_bound + 1e-9
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_loads_sum_to_total_cost(self, workers, jobs):
+        costs = {f"j{i}": float(i % 4 + 1) for i in range(jobs)}
+        result = greedy_lpt_assignment(costs, workers)
+        assert sum(result.loads) == pytest.approx(sum(costs.values()))
+        assert makespan(costs, result.assignment, workers) == pytest.approx(result.makespan)
+
+
+class TestDistributionStrategy:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DistributionStrategy(0)
+        with pytest.raises(ValueError):
+            DistributionStrategy(4, grad_worker_frac=0.0)
+        with pytest.raises(ValueError):
+            DistributionStrategy(4, grad_worker_frac=1.5)
+        with pytest.raises(ValueError):
+            DistributionStrategy(4, balance="latency")
+
+    def test_strategy_names(self):
+        assert DistributionStrategy.mem_opt(8).name == "MEM-OPT"
+        assert DistributionStrategy.comm_opt(8).name == "COMM-OPT"
+        assert DistributionStrategy.hybrid(8, 0.5).name == "HYBRID-OPT"
+
+    def test_num_grad_workers_formula(self):
+        assert DistributionStrategy(64, 1 / 64).num_grad_workers == 1
+        assert DistributionStrategy(64, 0.5).num_grad_workers == 32
+        assert DistributionStrategy(64, 1.0).num_grad_workers == 64
+        assert DistributionStrategy(1, 1.0).num_grad_workers == 1
+
+    def test_mem_opt_single_grad_worker_per_layer(self):
+        groups = DistributionStrategy.mem_opt(8).assign(LAYERS)
+        for group in groups.values():
+            assert len(group.grad_workers) == 1
+            assert group.eigen_worker in group.grad_workers
+            receivers = group.receivers_of(group.grad_workers[0])
+            assert len(receivers) == 7
+
+    def test_comm_opt_every_rank_is_grad_worker(self):
+        groups = DistributionStrategy.comm_opt(8).assign(LAYERS)
+        for group in groups.values():
+            assert group.grad_workers == tuple(range(8))
+            assert group.receiver_map == {}
+
+    def test_comm_opt_distributes_a_and_g_separately(self):
+        groups = DistributionStrategy.comm_opt(16).assign(LAYERS)
+        placements = set()
+        for group in groups.values():
+            placements.add(group.eigen_worker_a)
+            placements.add(group.eigen_worker_g)
+        assert len(placements) > 1  # factors spread across more than one rank
+
+    def test_hybrid_partitions_receivers_among_grad_workers(self):
+        groups = DistributionStrategy.hybrid(8, 0.5).assign(LAYERS)
+        for group in groups.values():
+            assert len(group.grad_workers) == 4
+            all_receivers = [r for worker in group.grad_workers for r in group.receivers_of(worker)]
+            assert sorted(all_receivers + list(group.grad_workers)) == list(range(8))
+            # Figure 4: each gradient worker serves exactly one receiver at frac=1/2.
+            assert all(len(group.receivers_of(w)) == 1 for w in group.grad_workers)
+
+    def test_every_rank_covered_exactly_once_per_layer(self):
+        for frac in (1 / 8, 1 / 4, 1 / 2, 1.0):
+            groups = DistributionStrategy(8, frac).assign(LAYERS)
+            for group in groups.values():
+                covered = set(group.grad_workers)
+                for worker in group.grad_workers:
+                    covered.update(group.receivers_of(worker))
+                assert covered == set(range(8))
+
+    def test_grad_worker_for_resolves_every_rank(self):
+        groups = DistributionStrategy(8, 0.25).assign(LAYERS)
+        for group in groups.values():
+            for rank in range(8):
+                worker = group.grad_worker_for(rank)
+                assert worker in group.grad_workers
+
+    def test_eigen_workers_balanced_across_layers(self):
+        # With many equal-cost layers, eigen work must not pile onto one rank.
+        layers = [layer(f"l{i}", 64, 64) for i in range(16)]
+        groups = DistributionStrategy(4, 0.25).assign(layers)
+        counts = np.zeros(4)
+        for group in groups.values():
+            counts[group.eigen_worker] += 1
+        assert counts.max() - counts.min() <= 1
+
+    def test_assignment_deterministic(self):
+        a = DistributionStrategy(8, 0.5).assign(LAYERS)
+        b = DistributionStrategy(8, 0.5).assign(LAYERS)
+        for name in a:
+            assert a[name].grad_workers == b[name].grad_workers
+            assert a[name].eigen_worker == b[name].eigen_worker
+
+    def test_memory_balance_mode(self):
+        groups = DistributionStrategy(4, 0.25, balance="memory").assign(LAYERS)
+        assert len(groups) == len(LAYERS)
+
+    def test_empty_layer_list(self):
+        assert DistributionStrategy(4, 0.5).assign([]) == {}
+
+    def test_world_size_one(self):
+        groups = DistributionStrategy(1, 1.0).assign(LAYERS)
+        for group in groups.values():
+            assert group.grad_workers == (0,)
+
+    def test_broadcast_group_size_shrinks_with_more_grad_workers(self):
+        sizes = {}
+        for frac in (1 / 8, 1 / 4, 1 / 2):
+            groups = DistributionStrategy(8, frac).assign(LAYERS)
+            sizes[frac] = max(g.broadcast_group_size() for g in groups.values())
+        assert sizes[1 / 8] > sizes[1 / 4] > sizes[1 / 2]
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roles_partition_property(self, world_size, frac, num_layers):
+        """For every configuration, each rank is either a gradient worker or the
+        receiver of exactly one gradient worker for every layer."""
+        layers = [layer(f"l{i}", 8 * (i + 1), 4 * (i + 1)) for i in range(num_layers)]
+        strategy = DistributionStrategy(world_size, frac)
+        groups = strategy.assign(layers)
+        assert len(groups) == num_layers
+        for group in groups.values():
+            assert 1 <= len(group.grad_workers) <= world_size
+            seen = {}
+            for worker in group.grad_workers:
+                for receiver in group.receivers_of(worker):
+                    assert receiver not in seen
+                    seen[receiver] = worker
+            assert set(seen) | set(group.grad_workers) == set(range(world_size))
+
+
+class TestLayerShapeInfo:
+    def test_cost_proxies(self):
+        info = layer("x", 10, 4)
+        assert info.eigen_cost == 10 ** 3 + 4 ** 3
+        assert info.memory_cost == 10 ** 2 + 4 ** 2

@@ -1,0 +1,193 @@
+"""Tests for the K-FAC numerical kernels (Eqs. 4-5, 11-17 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kfac import (
+    EigenDecomposition,
+    damped_inverse,
+    kl_clip_scale,
+    precondition_with_eigen,
+    precondition_with_inverse,
+    symmetric_eigen,
+)
+from repro.kfac.kmath import eigenvalue_outer_product
+from repro.kfac.triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
+
+RNG = np.random.default_rng(5)
+
+
+def random_spd(n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    root = rng.standard_normal((n, n))
+    return (root @ root.T / n * scale + 1e-3 * np.eye(n)).astype(np.float32)
+
+
+class TestKroneckerProperties:
+    """Numerical checks of the Kronecker identities the method relies on."""
+
+    def test_inverse_of_kronecker_is_kronecker_of_inverses(self):
+        a, b = random_spd(4, 1), random_spd(3, 2)
+        left = np.linalg.inv(np.kron(a.astype(np.float64), b.astype(np.float64)))
+        right = np.kron(np.linalg.inv(a.astype(np.float64)), np.linalg.inv(b.astype(np.float64)))
+        np.testing.assert_allclose(left, right, rtol=1e-4)
+
+    def test_kronecker_vector_product_identity(self):
+        # (A ⊗ B) vec(C) = vec(B C Aᵀ) with row-major vec convention.
+        a, b = RNG.standard_normal((3, 3)), RNG.standard_normal((4, 4))
+        c = RNG.standard_normal((4, 3))
+        left = (np.kron(a, b) @ c.reshape(-1, order="F")).reshape(4, 3, order="F")
+        right = b @ c @ a.T
+        np.testing.assert_allclose(left, right, rtol=1e-6)
+
+    def test_damped_kronecker_inverse_factorisation(self):
+        # Eq. 12: (A + γI)⁻¹ ⊗ (G + γI)⁻¹ equals the inverse of (A+γI) ⊗ (G+γI).
+        a, g = random_spd(3, 3), random_spd(2, 4)
+        gamma = 0.01
+        left = np.kron(damped_inverse(a, gamma), damped_inverse(g, gamma))
+        right = np.linalg.inv(np.kron(a + gamma * np.eye(3), g + gamma * np.eye(2)))
+        np.testing.assert_allclose(left, right, rtol=1e-3, atol=1e-5)
+
+
+class TestSymmetricEigen:
+    def test_reconstruction(self):
+        factor = random_spd(8, 7)
+        eig = symmetric_eigen(factor)
+        recon = eig.eigenvectors @ np.diag(eig.eigenvalues) @ eig.eigenvectors.T
+        np.testing.assert_allclose(recon, factor, rtol=1e-3, atol=1e-4)
+
+    def test_eigenvectors_orthogonal(self):
+        eig = symmetric_eigen(random_spd(6, 8))
+        np.testing.assert_allclose(eig.eigenvectors.T @ eig.eigenvectors, np.eye(6), atol=1e-4)
+
+    def test_negative_eigenvalues_clamped(self):
+        factor = np.array([[1.0, 0.0], [0.0, -0.5]], dtype=np.float32)
+        eig = symmetric_eigen(factor, clamp_negative=True)
+        assert np.all(eig.eigenvalues >= 0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            symmetric_eigen(np.zeros((3, 4), dtype=np.float32))
+
+    def test_fp16_storage_roundtrip(self):
+        eig = symmetric_eigen(random_spd(5, 9)).astype(np.float16)
+        assert eig.eigenvectors.dtype == np.float16
+        assert eig.nbytes == eig.eigenvectors.nbytes + eig.eigenvalues.nbytes
+
+    def test_compute_dtype_respected(self):
+        eig = symmetric_eigen(random_spd(5, 9), compute_dtype=np.float64)
+        assert eig.eigenvectors.dtype == np.float64
+
+
+class TestPreconditioning:
+    """The eigen path (Eqs. 15-17) must match the explicit damped inverse (Eq. 12)."""
+
+    @pytest.mark.parametrize("damping", [0.3, 0.03, 0.003])
+    def test_eigen_path_matches_explicit_inverse(self, damping):
+        a, g = random_spd(6, 11), random_spd(4, 12)
+        grad = RNG.standard_normal((4, 6)).astype(np.float32)
+        eig_a, eig_g = symmetric_eigen(a), symmetric_eigen(g)
+        via_eigen = precondition_with_eigen(grad, eig_a, eig_g, damping)
+        # Explicit: vec-form (F̂ + γ I)⁻¹ vec(grad) with F̂ = A ⊗ G (row-major layout).
+        fisher = np.kron(a.astype(np.float64), g.astype(np.float64))
+        explicit = np.linalg.solve(fisher + damping * np.eye(fisher.shape[0]), grad.T.reshape(-1, order="C"))
+        explicit = explicit.reshape(6, 4).T
+        # The eigen path damps each Kronecker eigenvalue product individually,
+        # which equals the exact damped inverse of A ⊗ G.
+        np.testing.assert_allclose(via_eigen, explicit, rtol=2e-2, atol=1e-3)
+
+    def test_inverse_path_matches_eigen_path_with_factored_damping(self):
+        # Eq. 12 damps the factors individually; with small damping both paths agree closely.
+        a, g = random_spd(5, 13), random_spd(3, 14)
+        grad = RNG.standard_normal((3, 5)).astype(np.float32)
+        damping = 1e-6
+        via_inverse = precondition_with_inverse(grad, damped_inverse(a, damping), damped_inverse(g, damping))
+        via_eigen = precondition_with_eigen(grad, symmetric_eigen(a), symmetric_eigen(g), damping)
+        scale = np.abs(via_eigen).max()
+        np.testing.assert_allclose(via_inverse / scale, via_eigen / scale, atol=5e-2)
+
+    def test_identity_factors_scale_gradient(self):
+        # With A = G = I and damping γ the preconditioned gradient is grad / (1 + γ).
+        grad = RNG.standard_normal((3, 4)).astype(np.float32)
+        eye_a = symmetric_eigen(np.eye(4, dtype=np.float32))
+        eye_g = symmetric_eigen(np.eye(3, dtype=np.float32))
+        out = precondition_with_eigen(grad, eye_a, eye_g, damping=0.5)
+        np.testing.assert_allclose(out, grad / 1.5, rtol=1e-4)
+
+    def test_cached_outer_product_matches_recomputation(self):
+        a, g = random_spd(6, 15), random_spd(5, 16)
+        grad = RNG.standard_normal((5, 6)).astype(np.float32)
+        eig_a, eig_g = symmetric_eigen(a), symmetric_eigen(g)
+        outer = eigenvalue_outer_product(eig_a, eig_g, 0.01)
+        without_cache = precondition_with_eigen(grad, eig_a, eig_g, 0.01)
+        with_cache = precondition_with_eigen(grad, eig_a, eig_g, 0.01, inverse_outer=outer)
+        np.testing.assert_allclose(without_cache, with_cache, rtol=1e-6)
+
+    def test_preconditioning_is_linear_in_gradient(self):
+        a, g = random_spd(4, 17), random_spd(3, 18)
+        eig_a, eig_g = symmetric_eigen(a), symmetric_eigen(g)
+        g1 = RNG.standard_normal((3, 4)).astype(np.float32)
+        g2 = RNG.standard_normal((3, 4)).astype(np.float32)
+        combined = precondition_with_eigen(g1 + g2, eig_a, eig_g, 0.01)
+        separate = precondition_with_eigen(g1, eig_a, eig_g, 0.01) + precondition_with_eigen(g2, eig_a, eig_g, 0.01)
+        np.testing.assert_allclose(combined, separate, rtol=1e-3, atol=1e-5)
+
+    def test_larger_damping_shrinks_update(self):
+        a, g = random_spd(4, 19), random_spd(4, 20)
+        grad = RNG.standard_normal((4, 4)).astype(np.float32)
+        eig_a, eig_g = symmetric_eigen(a), symmetric_eigen(g)
+        small = np.linalg.norm(precondition_with_eigen(grad, eig_a, eig_g, 0.001))
+        large = np.linalg.norm(precondition_with_eigen(grad, eig_a, eig_g, 10.0))
+        assert large < small
+
+
+class TestKLClip:
+    def test_scale_capped_at_one(self):
+        grad = np.full((2, 2), 1e-6, dtype=np.float32)
+        assert kl_clip_scale([(grad, grad)], lr=0.1, kl_clip=0.001) == 1.0
+
+    def test_large_updates_scaled_down(self):
+        grad = np.full((10, 10), 10.0, dtype=np.float32)
+        nu = kl_clip_scale([(grad, grad)], lr=1.0, kl_clip=0.001)
+        assert 0 < nu < 1
+
+    def test_scale_decreases_with_lr(self):
+        grad = np.full((4, 4), 2.0, dtype=np.float32)
+        low = kl_clip_scale([(grad, grad)], lr=0.01, kl_clip=0.001)
+        high = kl_clip_scale([(grad, grad)], lr=1.0, kl_clip=0.001)
+        assert high <= low
+
+    def test_non_positive_inner_product_returns_one(self):
+        grad = np.ones((2, 2), dtype=np.float32)
+        assert kl_clip_scale([(grad, -grad)], lr=1.0, kl_clip=0.001) == 1.0
+
+
+class TestTriangularPacking:
+    def test_roundtrip(self):
+        factor = random_spd(7, 21)
+        packed = pack_upper_triangle(factor)
+        assert packed.size == triangular_size(7)
+        np.testing.assert_allclose(unpack_upper_triangle(packed, 7), factor, rtol=1e-6)
+
+    def test_packed_size_formula(self):
+        assert triangular_size(4) == 10
+        assert triangular_size(1) == 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            pack_upper_triangle(np.zeros((2, 3)))
+
+    def test_unpack_size_mismatch(self):
+        with pytest.raises(ValueError):
+            unpack_upper_triangle(np.zeros(5), 4)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, n):
+        factor = random_spd(n, seed=n)
+        np.testing.assert_allclose(unpack_upper_triangle(pack_upper_triangle(factor), n), factor, rtol=1e-6)
+
+    def test_volume_saving_approaches_half(self):
+        n = 200
+        assert triangular_size(n) / (n * n) < 0.51

@@ -1,0 +1,229 @@
+"""Tests for first-order optimizers, LR schedulers and the GradScaler."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_problem(dim=5, seed=0):
+    """A convex quadratic: minimising ||x - target||^2."""
+    rng = np.random.default_rng(seed)
+    target = rng.random(dim).astype(np.float32)
+    param = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def loss_and_grad():
+        param.grad = 2 * (param.data - target)
+        return float(np.sum((param.data - target) ** 2))
+
+    return param, target, loss_and_grad
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        param.grad = np.array([0.5], dtype=np.float32)
+        optim.SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        opt = optim.SGD([param], lr=1.0, momentum=0.9)
+        param.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        first = param.data.copy()
+        param.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # Second step moves further because of the momentum buffer.
+        assert abs(param.data[0] - first[0]) > 1.0
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        param.grad = np.array([0.0], dtype=np.float32)
+        optim.SGD([param], lr=0.1, weight_decay=0.1).step()
+        assert param.data[0] < 10.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_converges_on_quadratic(self):
+        param, target, loss_and_grad = quadratic_problem()
+        opt = optim.SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            loss_and_grad()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_skips_params_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        a.grad = np.ones(2, dtype=np.float32)
+        optim.SGD([a, b], lr=0.5).step()
+        np.testing.assert_allclose(b.data, 1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+
+class TestAdamLamb:
+    def test_adam_converges_on_quadratic(self):
+        param, target, loss_and_grad = quadratic_problem(seed=1)
+        opt = optim.Adam([param], lr=0.05)
+        for _ in range(300):
+            loss_and_grad()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_bias_correction_first_step(self):
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        param.grad = np.array([1.0], dtype=np.float32)
+        optim.Adam([param], lr=0.1).step()
+        # With bias correction the first step is approximately -lr * sign(grad).
+        assert param.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_adamw_decoupled_weight_decay(self):
+        p1 = Parameter(np.array([1.0], dtype=np.float32))
+        p2 = Parameter(np.array([1.0], dtype=np.float32))
+        p1.grad = np.array([0.0], dtype=np.float32)
+        p2.grad = np.array([0.0], dtype=np.float32)
+        optim.Adam([p1], lr=0.1, weight_decay=0.1).step()
+        optim.AdamW([p2], lr=0.1, weight_decay=0.1).step()
+        # Adam with zero gradient and L2 in the gradient normalizes the decay away;
+        # AdamW applies it directly so the weight must shrink.
+        assert p2.data[0] < 1.0
+
+    def test_lamb_trust_ratio_scales_update(self):
+        # Two parameters with identical gradients but different norms should move
+        # proportionally to their own norm (layer-wise adaptation).
+        small = Parameter(np.full(4, 0.01, dtype=np.float32))
+        large = Parameter(np.full(4, 10.0, dtype=np.float32))
+        small.grad = np.full(4, 1.0, dtype=np.float32)
+        large.grad = np.full(4, 1.0, dtype=np.float32)
+        optim.LAMB([small, large], lr=0.1, weight_decay=0.0).step()
+        small_step = np.abs(small.data - 0.01).mean()
+        large_step = np.abs(large.data - 10.0).mean()
+        assert large_step > small_step
+
+    def test_lamb_converges_on_quadratic(self):
+        param, target, loss_and_grad = quadratic_problem(seed=2)
+        param.data += 1.0
+        opt = optim.LAMB([param], lr=0.02, weight_decay=0.0)
+        losses = []
+        for _ in range(200):
+            losses.append(loss_and_grad())
+            opt.step()
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_state_bytes_counts_moments(self):
+        param = Parameter(np.zeros(10, dtype=np.float32))
+        param.grad = np.ones(10, dtype=np.float32)
+        opt = optim.Adam([param], lr=0.1)
+        opt.step()
+        assert opt.state_bytes() == 2 * 10 * 4
+
+
+class TestParamGroups:
+    def test_per_group_learning_rates(self):
+        a, b = Parameter(np.array([1.0], dtype=np.float32)), Parameter(np.array([1.0], dtype=np.float32))
+        a.grad = np.array([1.0], dtype=np.float32)
+        b.grad = np.array([1.0], dtype=np.float32)
+        opt = optim.SGD([{"params": [a], "lr": 0.1}, {"params": [b], "lr": 0.5}], lr=0.1)
+        opt.step()
+        assert a.data[0] == pytest.approx(0.9)
+        assert b.data[0] == pytest.approx(0.5)
+
+    def test_zero_grad(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.ones(3, dtype=np.float32)
+        opt = optim.SGD([param], lr=0.1)
+        opt.zero_grad()
+        assert param.grad is None
+
+    def test_grad_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 2.0, dtype=np.float32)
+        assert optim.SGD([param], lr=0.1).grad_norm() == pytest.approx(4.0)
+
+
+class TestSchedulers:
+    def _make(self, scheduler_cls, **kwargs):
+        param = Parameter(np.zeros(1))
+        opt = optim.SGD([param], lr=1.0)
+        return opt, scheduler_cls(opt, **kwargs)
+
+    def test_warmup_ramps_linearly(self):
+        opt, sched = self._make(optim.WarmupConstant, warmup_steps=10)
+        lrs = []
+        for _ in range(10):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert lrs[0] < lrs[4] < lrs[-1]
+        assert lrs[-1] == pytest.approx(1.0)
+
+    def test_cosine_decays_to_min(self):
+        opt, sched = self._make(optim.WarmupCosine, total_steps=100, warmup_steps=0, min_factor=0.1)
+        for _ in range(100):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1, abs=1e-2)
+
+    def test_multistep_decays_at_milestones(self):
+        opt, sched = self._make(optim.WarmupMultiStep, milestones=[5, 10], gamma=0.1)
+        for _ in range(6):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1, rel=1e-5)
+        for _ in range(5):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.01, rel=1e-5)
+
+    def test_polynomial_reaches_end_factor(self):
+        opt, sched = self._make(optim.WarmupPolynomial, total_steps=50, warmup_steps=5, power=1.0)
+        for _ in range(60):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestGradScaler:
+    def test_scale_and_unscale_roundtrip(self):
+        param = Parameter(np.zeros(3))
+        opt = optim.SGD([param], lr=0.1)
+        scaler = optim.GradScaler(init_scale=2.0 ** 8)
+        loss = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        scaled = scaler.scale(loss)
+        assert scaled.numpy()[0] == pytest.approx(256.0)
+        param.grad = np.full(3, 256.0, dtype=np.float32)
+        scaler.unscale_(opt)
+        np.testing.assert_allclose(param.grad, 1.0)
+
+    def test_step_skipped_on_overflow_and_scale_backs_off(self):
+        param = Parameter(np.zeros(1))
+        opt = optim.SGD([param], lr=0.1)
+        scaler = optim.GradScaler(init_scale=2.0 ** 4)
+        param.grad = np.array([np.inf], dtype=np.float32)
+        stepped = scaler.step(opt)
+        scaler.update()
+        assert not stepped
+        assert param.data[0] == 0.0
+        assert scaler.get_scale() == pytest.approx(8.0)
+
+    def test_scale_grows_after_interval(self):
+        param = Parameter(np.zeros(1))
+        opt = optim.SGD([param], lr=0.1)
+        scaler = optim.GradScaler(init_scale=4.0, growth_interval=2)
+        for _ in range(2):
+            param.grad = np.array([1.0], dtype=np.float32) * scaler.get_scale()
+            scaler.step(opt)
+            scaler.update()
+        assert scaler.get_scale() == pytest.approx(8.0)
+
+    def test_disabled_scaler_is_identity(self):
+        scaler = optim.GradScaler(enabled=False)
+        assert scaler.get_scale() == 1.0
+        loss = Tensor([2.0])
+        assert scaler.scale(loss) is loss

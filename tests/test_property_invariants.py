@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for core invariants of the tensor engine and K-FAC.
+
+These complement the example-based tests with randomized coverage of the
+algebraic identities the system relies on: broadcasting-consistent gradients,
+softmax normalisation, symmetric-positive-semidefiniteness of Kronecker
+factors, damping monotonicity, and the memory model's linearity in
+``grad_worker_frac``.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.kfac import LayerShapeInfo, precondition_with_eigen, symmetric_eigen
+from repro.kfac.layers import make_kfac_layer
+from repro.memory import KFACMemoryModel
+from repro.nn import functional as F
+from repro.tensor import PrecisionPolicy, Tensor
+
+small_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False, width=32)
+
+
+def float_arrays(shape):
+    return hnp.arrays(np.float32, shape, elements=small_floats)
+
+
+class TestTensorProperties:
+    @given(float_arrays((3, 4)), float_arrays((3, 4)))
+    @settings(max_examples=30, deadline=None)
+    def test_addition_gradient_is_identity_for_both_operands(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta + tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.ones_like(a))
+        np.testing.assert_allclose(tb.grad, np.ones_like(b))
+
+    @given(float_arrays((4, 3)), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_loss_scales_gradient_linearly(self, a, scale):
+        t1 = Tensor(a, requires_grad=True)
+        t2 = Tensor(a, requires_grad=True)
+        (t1 * t1).sum().backward()
+        ((t2 * t2).sum() * scale).backward()
+        np.testing.assert_allclose(t2.grad, t1.grad * scale, rtol=1e-4, atol=1e-4)
+
+    @given(float_arrays((2, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_form_a_distribution(self, logits):
+        out = F.softmax(Tensor(logits), axis=-1).numpy()
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+
+    @given(float_arrays((3, 6)))
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_is_log_of_softmax(self, logits):
+        soft = F.softmax(Tensor(logits), axis=-1).numpy()
+        log_soft = F.log_softmax(Tensor(logits), axis=-1).numpy()
+        np.testing.assert_allclose(log_soft, np.log(soft + 1e-12), atol=1e-3)
+
+    @given(float_arrays((2, 3, 6, 6)), st.integers(min_value=1, max_value=3), st.sampled_from([0, 1]))
+    @settings(max_examples=20, deadline=None)
+    def test_unfold_preserves_total_patch_content(self, images, kernel, padding):
+        cols, oh, ow = F.im2col(images, (kernel, kernel), 1, padding)
+        assert cols.shape == (2, 3 * kernel * kernel, oh * ow)
+        # Each column is an actual patch: its values are a subset of the padded image values.
+        padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        assert np.all(np.isin(cols.round(4), np.append(padded.round(4), 0.0)))
+
+    @given(float_arrays((5, 4)))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_and_sum_consistency(self, a):
+        t = Tensor(a)
+        np.testing.assert_allclose(t.mean().item() * a.size, t.sum().item(), rtol=1e-3, atol=1e-3)
+
+
+class TestKFACFactorProperties:
+    @given(float_arrays((6, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_factors_are_symmetric_positive_semidefinite(self, x):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        handler = make_kfac_layer("l", layer, PrecisionPolicy.fp32(), lambda: True, lambda: 1.0)
+        out = layer(Tensor(x))
+        out.mean().backward()
+        a_new, g_new = handler.compute_batch_factors()
+        for factor in (a_new, g_new):
+            np.testing.assert_allclose(factor, factor.T, atol=1e-5)
+            eigenvalues = np.linalg.eigvalsh(factor.astype(np.float64))
+            assert eigenvalues.min() >= -1e-5
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_eigen_reconstruction_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        root = rng.standard_normal((n, n)).astype(np.float32)
+        factor = root @ root.T / n
+        eig = symmetric_eigen(factor)
+        recon = eig.eigenvectors @ np.diag(eig.eigenvalues) @ eig.eigenvectors.T
+        np.testing.assert_allclose(recon, factor, atol=1e-3, rtol=1e-2)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_preconditioning_shrinks_with_damping(self, n, seed):
+        rng = np.random.default_rng(seed)
+        root_a = rng.standard_normal((n, n)).astype(np.float32)
+        root_g = rng.standard_normal((n, n)).astype(np.float32)
+        eig_a = symmetric_eigen(root_a @ root_a.T / n)
+        eig_g = symmetric_eigen(root_g @ root_g.T / n)
+        grad = rng.standard_normal((n, n)).astype(np.float32)
+        norms = [
+            np.linalg.norm(precondition_with_eigen(grad, eig_a, eig_g, damping))
+            for damping in (1e-3, 1e-1, 1e1)
+        ]
+        assert norms[0] >= norms[1] >= norms[2]
+
+
+class TestMemoryModelProperties:
+    @given(
+        st.lists(st.tuples(st.integers(min_value=2, max_value=64), st.integers(min_value=2, max_value=64)), min_size=1, max_size=8),
+        st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mean_overhead_monotone_in_grad_worker_frac(self, dims, world_size):
+        layers = [LayerShapeInfo(f"l{i}", a, g, a * g) for i, (a, g) in enumerate(dims)]
+        model = KFACMemoryModel(layers, param_count=10_000)
+        overheads = [model.overhead_bytes(world_size, frac, rank="mean") for frac in (1 / world_size, 0.5, 1.0)]
+        assert overheads[0] <= overheads[1] <= overheads[2]
+
+    @given(
+        st.lists(st.tuples(st.integers(min_value=2, max_value=64), st.integers(min_value=2, max_value=64)), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_eigen_bytes_conserved_across_ranks_in_mem_opt(self, dims, world_size):
+        """Under MEM-OPT every layer's eigen state exists exactly once in the world."""
+        layers = [LayerShapeInfo(f"l{i}", a, g, a * g) for i, (a, g) in enumerate(dims)]
+        model = KFACMemoryModel(layers, param_count=10_000)
+        per_rank = model.eigen_bytes_per_rank(world_size, 1.0 / world_size)
+        assert per_rank.sum() == sum(model.eigen_bytes_for_layer(layer) for layer in layers)

@@ -1,0 +1,264 @@
+"""Tests for the Tensor autograd engine: forward semantics and graph behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, float16, float32
+
+
+class TestConstruction:
+    def test_from_list_uses_default_dtype(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+        assert t.shape == (3,)
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.arange(5))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype(self):
+        t = Tensor([1.0, 2.0], dtype="float16")
+        assert t.dtype == np.float16
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_zeros_ones_randn(self):
+        assert np.all(Tensor.zeros(2, 3).numpy() == 0)
+        assert np.all(Tensor.ones(2, 3).numpy() == 1)
+        assert Tensor.randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).sum().item() == pytest.approx(3.5)
+
+    def test_item_on_nonscalar_raises(self):
+        with pytest.raises(Exception):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.numpy(), [4.0, 6.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0, 2.0]) + 1.0).numpy(), [2.0, 3.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((1.0 + Tensor([1.0, 2.0])).numpy(), [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).numpy(), [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).numpy(), [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])).numpy(), [8.0, 15.0])
+        np.testing.assert_allclose((Tensor([8.0]) / 2.0).numpy(), [4.0])
+        np.testing.assert_allclose((8.0 / Tensor([2.0])).numpy(), [4.0])
+
+    def test_neg_pow_sqrt(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).numpy(), [-1.0, 2.0])
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).numpy(), [8.0])
+        np.testing.assert_allclose(Tensor([9.0]).sqrt().numpy(), [3.0])
+
+    def test_matmul(self):
+        a = Tensor(np.eye(3, dtype=np.float32) * 2)
+        b = Tensor(np.ones((3, 2), dtype=np.float32))
+        np.testing.assert_allclose((a @ b).numpy(), 2 * np.ones((3, 2)))
+
+    def test_batched_matmul_shape(self):
+        a = Tensor(np.ones((4, 3, 5), dtype=np.float32))
+        b = Tensor(np.ones((4, 5, 2), dtype=np.float32))
+        assert (a @ b).shape == (4, 3, 2)
+
+    def test_broadcast_add_backward_unbroadcasts(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4,), dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_broadcast_mul_backward(self):
+        a = Tensor(np.full((2, 3), 2.0, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.full((1, 3), 3.0, dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 3), 4.0))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        np.testing.assert_allclose(t.sum(axis=0).numpy(), [3.0, 5.0, 7.0])
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_matches_numpy(self):
+        data = np.random.default_rng(0).random((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(data).mean(axis=1).numpy(), data.mean(axis=1), rtol=1e-6)
+
+    def test_max_reduction(self):
+        data = np.array([[1.0, 5.0], [7.0, 2.0]], dtype=np.float32)
+        np.testing.assert_allclose(Tensor(data).max(axis=1).numpy(), [5.0, 7.0])
+
+    def test_var(self):
+        data = np.random.default_rng(0).random((5, 3)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(data).var(axis=0).numpy(), data.var(axis=0), rtol=1e-5)
+
+    def test_reshape_and_flatten(self):
+        t = Tensor(np.arange(12, dtype=np.float32))
+        assert t.reshape(3, 4).shape == (3, 4)
+        assert t.reshape((2, 6)).shape == (2, 6)
+        assert Tensor(np.zeros((2, 3, 4))).flatten(1).shape == (2, 12)
+
+    def test_transpose_default_and_axes(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.transpose(0, 2, 1).shape == (2, 4, 3)
+        assert t.transpose(0, 2).shape == (4, 3, 2)
+
+    def test_T_property(self):
+        assert Tensor(np.zeros((2, 5))).T.shape == (5, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10, dtype=np.float32))
+        np.testing.assert_allclose(t[2:5].numpy(), [2.0, 3.0, 4.0])
+
+    def test_getitem_fancy_index_backward_accumulates(self):
+        t = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        out = t[np.array([0, 0, 2])]
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_concatenate_forward_backward(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.full((3, 2), 2.0, dtype=np.float32), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_pad(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = t.pad(((1, 1), (0, 0)))
+        assert out.shape == (4, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 2)))
+
+    def test_stack(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        out = Tensor.stack([a, b], axis=0)
+        np.testing.assert_allclose(out.numpy(), [[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestElementwise:
+    def test_relu(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).relu().numpy(), [0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor(np.linspace(-5, 5, 11).astype(np.float32)).sigmoid().numpy()
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_tanh_matches_numpy(self):
+        data = np.linspace(-2, 2, 9).astype(np.float32)
+        np.testing.assert_allclose(Tensor(data).tanh().numpy(), np.tanh(data), rtol=1e-6)
+
+    def test_exp_log_roundtrip(self):
+        data = np.array([0.5, 1.0, 2.0], dtype=np.float32)
+        np.testing.assert_allclose(Tensor(data).log().exp().numpy(), data, rtol=1e-5)
+
+    def test_clip(self):
+        out = Tensor([-2.0, 0.5, 3.0]).clip(0.0, 1.0)
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.5, 1.0])
+
+    def test_astype(self):
+        t = Tensor([1.0, 2.0]).astype(float16)
+        assert t.dtype == np.float16
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).sum().backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0, 4.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_accumulates_correctly(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2
+        z = y + y  # d/dx = 4
+        z.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_reused_tensor_in_two_branches(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = (x * x) + x  # derivative 2x + 1 = 5
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_hook_receives_gradient(self):
+        captured = []
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3
+        y.register_hook(lambda g: captured.append(g.copy()))
+        (y * 2).sum().backward()
+        assert len(captured) == 1
+        np.testing.assert_allclose(captured[0], [2.0, 2.0])
+
+    def test_hook_on_leaf(self):
+        captured = []
+        x = Tensor([1.0], requires_grad=True)
+        x.register_hook(lambda g: captured.append(g.copy()))
+        (x * 5).sum().backward()
+        np.testing.assert_allclose(captured[0], [5.0])
+
+    def test_grad_not_tracked_for_non_required_parents(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=False)
+        (a * b).sum().backward()
+        assert b.grad is None
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
