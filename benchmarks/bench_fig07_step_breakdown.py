@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import nn
 from repro.experiments import format_table, paper_workload_spec
-from repro.kfac import KFAC, IterationTimeModel
+from repro.kfac import KFAC, KFACConfig, IterationTimeModel
 from repro.models import MLP
 from repro.profiling import StageProfiler
 from repro.tensor import Tensor
@@ -75,7 +75,8 @@ def test_fig07_measured_stage_breakdown(benchmark):
     def run():
         model = MLP(16, [64, 64], 5, rng=np.random.default_rng(1))
         profiler = StageProfiler()
-        preconditioner = KFAC(model, lr=0.05, factor_update_freq=5, inv_update_freq=10, profiler=profiler)
+        config = KFACConfig(lr=0.05, factor_update_freq=5, inv_update_freq=10)
+        preconditioner = KFAC.from_config(model, config, profiler=profiler)
         loss_fn = nn.CrossEntropyLoss()
         from repro import optim
 

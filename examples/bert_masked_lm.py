@@ -17,7 +17,7 @@ Run with::
 
 import numpy as np
 
-from repro import KFAC, nn, optim
+from repro import KFAC, KFACConfig, nn, optim
 from repro.data import DataLoader, Subset, SyntheticMaskedLM
 from repro.models import bert_tiny
 from repro.tensor import no_grad
@@ -35,14 +35,17 @@ def main() -> None:
     model = bert_tiny(vocab_size=120, rng=rng)
     optimizer = optim.LAMB(model.parameters(), lr=8e-3, weight_decay=0.01)
     scaler = optim.GradScaler(init_scale=2.0 ** 10)
-    preconditioner = KFAC(
-        model,
+    config = KFACConfig(
         lr=8e-3,
         damping=0.01,
         kl_clip=0.01,
         factor_update_freq=5,
         inv_update_freq=10,
         precision="fp16",  # fp16 factor and eigen storage
+    )
+    preconditioner = KFAC.from_config(
+        model,
+        config,
         grad_scaler=scaler,  # unscale the G factors by the current loss scale
         skip_modules=model.kfac_excluded_modules(),
     )

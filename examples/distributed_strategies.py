@@ -17,7 +17,7 @@ import threading
 
 import numpy as np
 
-from repro import KFAC, Tensor, nn, optim
+from repro import KFAC, KFACConfig, Tensor, nn, optim
 from repro.distributed import DistributedDataParallel, PerformanceModel, ThreadedWorld
 from repro.experiments import format_table
 from repro.models import MLP
@@ -41,9 +41,8 @@ def run_strategy(grad_worker_frac: float):
         model = MLP(10, [32], 4, rng=np.random.default_rng(rank))
         ddp = DistributedDataParallel(model, comm)  # broadcast rank 0's weights
         optimizer = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
-        preconditioner = KFAC(
-            model, lr=0.05, factor_update_freq=2, inv_update_freq=4, grad_worker_frac=grad_worker_frac, comm=comm
-        )
+        config = KFACConfig.hybrid(grad_worker_frac, lr=0.05, factor_update_freq=2, inv_update_freq=4)
+        preconditioner = KFAC.from_config(model, config, comm=comm)
         loss_fn = nn.CrossEntropyLoss()
         batch_rng = np.random.default_rng(7)
         for _ in range(STEPS):

@@ -1,7 +1,10 @@
 """Quickstart: add KAISA (K-FAC) to an existing training loop in two lines.
 
 This mirrors Listing 1 of the paper: construct the preconditioner once, then
-call ``preconditioner.step()`` right before ``optimizer.step()``.
+call ``preconditioner.step()`` right before ``optimizer.step()``.  The
+hyperparameters live in a validated, serializable :class:`KFACConfig`;
+``KFACConfig.comm_opt()`` / ``.hybrid()`` / ``.mem_opt(world_size)`` select
+the paper's section-3.1 distribution strategies by name.
 
 Run with::
 
@@ -10,7 +13,7 @@ Run with::
 
 import numpy as np
 
-from repro import KFAC, Tensor, nn, optim
+from repro import KFAC, KFACConfig, Tensor, nn, optim
 from repro.data import DataLoader, SpiralClassification
 from repro.models import MLP
 from repro.tensor import no_grad
@@ -29,7 +32,8 @@ def main() -> None:
     optimizer = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
 
     # The two KAISA lines (Listing 1): create the preconditioner, call step().
-    preconditioner = KFAC(model, lr=0.1, factor_update_freq=2, inv_update_freq=4, grad_worker_frac=1.0)
+    config = KFACConfig.comm_opt(lr=0.1, factor_update_freq=2, inv_update_freq=4)
+    preconditioner = KFAC.from_config(model, config)
 
     loss_fn = nn.CrossEntropyLoss()
     for epoch in range(15):

@@ -18,7 +18,7 @@ The package is organised as the paper's system is:
 """
 
 from . import data, distributed, experiments, kfac, memory, models, nn, optim, profiling, tensor, training
-from .kfac import KFAC
+from .kfac import KFAC, KFACConfig, Preconditioner
 from .tensor import Tensor, no_grad
 
 __version__ = "1.0.0"
@@ -27,6 +27,8 @@ __all__ = [
     "Tensor",
     "no_grad",
     "KFAC",
+    "KFACConfig",
+    "Preconditioner",
     "tensor",
     "nn",
     "models",

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..kfac.config import KFACConfig
+
 __all__ = [
     "BaselineSpec",
     "HyperparameterSpec",
@@ -102,6 +104,22 @@ class SmallWorkloadConfig:
     weight_decay: float = 0.0
     grad_worker_frac: float = 1.0
     seed: int = 0
+
+    def kfac_config(self, **overrides) -> KFACConfig:
+        """The workload's K-FAC hyperparameters as a :class:`KFACConfig`.
+
+        ``overrides`` replace individual fields (e.g. ``grad_worker_frac`` for
+        a strategy sweep); the result is re-validated.
+        """
+        base = KFACConfig(
+            lr=self.kfac_lr,
+            damping=self.damping,
+            kl_clip=self.kl_clip,
+            factor_update_freq=self.factor_update_freq,
+            inv_update_freq=self.inv_update_freq,
+            grad_worker_frac=self.grad_worker_frac,
+        )
+        return base.replace(**overrides) if overrides else base
 
 
 #: CPU-scale analogues of the Table 2 configurations.

@@ -11,7 +11,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..kfac import KFAC, IterationTimeModel, KFACWorkloadSpec
+import dataclasses
+
+from ..kfac import KFAC, KFACConfig, IterationTimeModel, KFACWorkloadSpec
 from ..memory import KFACMemoryModel
 from ..training import Trainer, TrainingCurve
 from .configs import SmallWorkloadConfig
@@ -70,18 +72,18 @@ def _train(
     )
     preconditioner = None
     if use_kfac:
-        kwargs = dict(
-            lr=lr,
-            damping=config.damping,
-            kl_clip=config.kl_clip,
-            factor_update_freq=config.factor_update_freq,
-            inv_update_freq=config.inv_update_freq,
-            grad_worker_frac=grad_worker_frac,
-            skip_modules=workload.kfac_skip_modules,
-        )
-        if kfac_kwargs:
-            kwargs.update(kfac_kwargs)
-        preconditioner = KFAC(workload.model, **kwargs)
+        kfac_config = workload.config.kfac_config(lr=lr, grad_worker_frac=grad_worker_frac)
+        # Split overrides into config fields (hyperparameters) and per-run
+        # constructor arguments (communicator, profiler, ...).
+        config_fields = {f.name for f in dataclasses.fields(KFACConfig)}
+        extras = {}
+        for key, value in (kfac_kwargs or {}).items():
+            if key in config_fields:
+                kfac_config = kfac_config.replace(**{key: value})
+            else:
+                extras[key] = value
+        skip_modules = extras.pop("skip_modules", workload.kfac_skip_modules)
+        preconditioner = KFAC.from_config(workload.model, kfac_config, skip_modules=skip_modules, **extras)
     trainer = Trainer(
         workload.model,
         optimizer,

@@ -2,6 +2,8 @@
 
 from .analysis import IterationBreakdown, IterationTimeModel, KFACWorkloadSpec
 from .assignment import AssignmentResult, greedy_lpt_assignment, makespan, round_robin_assignment
+from .base import Preconditioner
+from .config import KFACConfig
 from .kmath import (
     EigenDecomposition,
     damped_inverse,
@@ -10,20 +12,47 @@ from .kmath import (
     precondition_with_inverse,
     symmetric_eigen,
 )
-from .layers import KFACConv2dLayer, KFACLayer, KFACLinearLayer, make_kfac_layer
+from .layers import (
+    KFACConv2dLayer,
+    KFACEmbeddingLayer,
+    KFACLayer,
+    KFACLinearLayer,
+    make_kfac_layer,
+    register_kfac_layer,
+    registered_kfac_layers,
+    resolve_kfac_layer,
+)
 from .preconditioner import KFAC
-from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
+from .strategy import (
+    CommOptStrategy,
+    DistributionStrategy,
+    HybridOptStrategy,
+    LayerShapeInfo,
+    LayerWorkGroups,
+    MemOptStrategy,
+    broadcast_eigen_packed,
+)
 from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 __all__ = [
     "KFAC",
+    "KFACConfig",
+    "Preconditioner",
     "DistributionStrategy",
+    "CommOptStrategy",
+    "HybridOptStrategy",
+    "MemOptStrategy",
+    "broadcast_eigen_packed",
     "LayerShapeInfo",
     "LayerWorkGroups",
     "KFACLayer",
     "KFACLinearLayer",
     "KFACConv2dLayer",
+    "KFACEmbeddingLayer",
     "make_kfac_layer",
+    "register_kfac_layer",
+    "registered_kfac_layers",
+    "resolve_kfac_layer",
     "EigenDecomposition",
     "symmetric_eigen",
     "precondition_with_eigen",

@@ -1,0 +1,45 @@
+"""The preconditioner protocol consumed by the trainer and experiment harness.
+
+Any gradient preconditioner usable with :class:`repro.training.Trainer` must
+subclass :class:`Preconditioner`.  The contract is intentionally small:
+
+* :meth:`step` preconditions the model's gradients in place (called between
+  the data-parallel gradient allreduce and ``optimizer.step()``),
+* :meth:`state_dict` / :meth:`load_state_dict` round-trip all mutable state
+  (running factors, eigen decompositions, step counters) so training can be
+  checkpointed and resumed with bit-identical behaviour,
+* :meth:`memory_usage` reports the per-rank state bytes (the paper's
+  "K-FAC memory overhead", Table 5).
+
+Keeping the protocol explicit — rather than duck-typing on ``step`` — lets a
+new preconditioner (e.g. Shampoo-style or a diagonal Fisher approximation)
+plug into the trainer, the checkpointing path and the memory reporting
+without touching any of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+__all__ = ["Preconditioner"]
+
+
+class Preconditioner(abc.ABC):
+    """Abstract base class for gradient preconditioners."""
+
+    @abc.abstractmethod
+    def step(self, lr: Optional[float] = None) -> None:
+        """Precondition the registered gradients in place."""
+
+    @abc.abstractmethod
+    def state_dict(self) -> Dict[str, Any]:
+        """All mutable state needed to resume preconditioning after a restart."""
+
+    @abc.abstractmethod
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
+    @abc.abstractmethod
+    def memory_usage(self) -> Dict[str, int]:
+        """Bytes of preconditioner state held on this rank, by category."""

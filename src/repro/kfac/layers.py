@@ -1,7 +1,7 @@
 """Per-layer K-FAC handlers: factor computation and gradient preconditioning.
 
-Each supported module type (``Linear`` and ``Conv2d``, paper section 3.4) gets
-a handler that:
+Each supported module type gets a handler (``Linear``, ``Conv2d`` per paper
+section 3.4, plus ``Embedding`` as a registered extension) that:
 
 * captures the layer input during the forward pass (module forward hook) and
   the gradient w.r.t. the layer output during the backward pass (tensor hook),
@@ -10,15 +10,23 @@ a handler that:
 * maintains exponential running averages of the factors (section 2.1.2),
 * exposes the bias-folded gradient matrix and writes the preconditioned
   gradient back into the module's parameter ``.grad`` fields.
+
+Handler classes are looked up in an open registry keyed by module type:
+decorate a :class:`KFACLayer` subclass with
+``@register_kfac_layer(MyModuleType)`` and :class:`~repro.kfac.KFAC` will
+precondition instances of that module type with no change to the core.
+Dispatch walks the module's MRO, so a handler registered for a base module
+class also covers its subclasses unless a more specific handler exists.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Type
 
 import numpy as np
 
 from ..nn.conv import Conv2d
+from ..nn.embedding import Embedding
 from ..nn.functional import im2col
 from ..nn.linear import Linear
 from ..nn.module import Module
@@ -26,11 +34,69 @@ from ..tensor import PrecisionPolicy, Tensor
 from .kmath import EigenDecomposition, eigenvalue_outer_product, precondition_with_eigen, symmetric_eigen
 from .strategy import LayerShapeInfo
 
-__all__ = ["KFACLayer", "KFACLinearLayer", "KFACConv2dLayer", "make_kfac_layer"]
+__all__ = [
+    "KFACLayer",
+    "KFACLinearLayer",
+    "KFACConv2dLayer",
+    "KFACEmbeddingLayer",
+    "make_kfac_layer",
+    "register_kfac_layer",
+    "resolve_kfac_layer",
+    "registered_kfac_layers",
+]
+
+#: Module type -> handler class.  Mutated only through :func:`register_kfac_layer`.
+_LAYER_REGISTRY: Dict[Type[Module], Type["KFACLayer"]] = {}
+
+
+def register_kfac_layer(*module_types: Type[Module]):
+    """Class decorator registering a :class:`KFACLayer` handler for ``module_types``.
+
+    Registering a type that already has a handler replaces it (latest wins),
+    so a downstream package can override the built-in handlers.
+    """
+    if not module_types:
+        raise ValueError("register_kfac_layer requires at least one module type")
+
+    def decorator(handler_cls: Type["KFACLayer"]) -> Type["KFACLayer"]:
+        if not (isinstance(handler_cls, type) and issubclass(handler_cls, KFACLayer)):
+            raise TypeError("registered handler must be a KFACLayer subclass")
+        for module_type in module_types:
+            if not (isinstance(module_type, type) and issubclass(module_type, Module)):
+                raise TypeError(f"{module_type!r} is not a Module subclass")
+            _LAYER_REGISTRY[module_type] = handler_cls
+        return handler_cls
+
+    return decorator
+
+
+def resolve_kfac_layer(module: Module) -> Optional[Type["KFACLayer"]]:
+    """Most specific registered handler class for ``module``, or ``None``."""
+    for klass in type(module).__mro__:
+        handler = _LAYER_REGISTRY.get(klass)
+        if handler is not None:
+            return handler
+    return None
+
+
+def registered_kfac_layers() -> Dict[Type[Module], Type["KFACLayer"]]:
+    """Snapshot of the current module-type -> handler registry."""
+    return dict(_LAYER_REGISTRY)
 
 
 class KFACLayer:
     """Base class holding K-FAC state for a single preconditioned module."""
+
+    @classmethod
+    def supports(cls, module: Module) -> bool:
+        """Whether this handler should actually be built for ``module``.
+
+        Registry dispatch finds the handler class by module type; this hook
+        lets a handler decline specific instances (e.g. embeddings whose
+        factor would be too large), in which case the module is skipped
+        exactly as an unregistered type would be.
+        """
+        return True
 
     def __init__(
         self,
@@ -97,7 +163,15 @@ class KFACLayer:
         raise NotImplementedError
 
     def _accumulate_g(self, grad_output: np.ndarray) -> None:
-        raise NotImplementedError
+        """Default G statistics: flatten leading dims to rows of size ``g_dim``.
+
+        Shared by handlers whose output last dimension is the G factor
+        dimension (Linear, Embedding); spatial handlers (Conv2d) override.
+        """
+        rows = grad_output.reshape(-1, grad_output.shape[-1])
+        # Undo the 1/N averaging of the loss so G estimates E[g gᵀ] per sample.
+        rows = rows * rows.shape[0]
+        self._add_g_stat(rows)
 
     def _add_a_stat(self, rows: np.ndarray) -> None:
         contribution = rows.T.astype(np.float32) @ rows.astype(np.float32)
@@ -190,6 +264,86 @@ class KFACLayer:
     def has_eigen(self) -> bool:
         return self.eigen_a is not None and self.eigen_g is not None
 
+    # --------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """All mutable per-layer K-FAC state, as plain numpy arrays.
+
+        Includes the in-window accumulators so a checkpoint taken between two
+        factor updates resumes with the exact same statistics.
+        """
+
+        def pack_eigen(eigen: Optional[EigenDecomposition]):
+            if eigen is None:
+                return None
+            return {"eigenvalues": eigen.eigenvalues.copy(), "eigenvectors": eigen.eigenvectors.copy()}
+
+        def copy(array: Optional[np.ndarray]):
+            return None if array is None else array.copy()
+
+        return {
+            "factor_a": copy(self.factor_a),
+            "factor_g": copy(self.factor_g),
+            "eigen_a": pack_eigen(self.eigen_a),
+            "eigen_g": pack_eigen(self.eigen_g),
+            "inverse_outer": copy(self.inverse_outer),
+            "a_accum": copy(self._a_accum),
+            "g_accum": copy(self._g_accum),
+            "a_count": self._a_count,
+            "g_count": self._g_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state from :meth:`state_dict`, honoring the precision policy."""
+        factor_dtype = self.precision.factor_dtype
+        inverse_dtype = self.precision.inverse_dtype
+
+        def check_square(array: np.ndarray, dim: int, what: str) -> None:
+            if array.shape != (dim, dim):
+                raise ValueError(
+                    f"layer {self.name!r}: {what} has shape {array.shape}, expected {(dim, dim)}"
+                )
+
+        def load_factor(value: Optional[np.ndarray], dim: int, what: str) -> Optional[np.ndarray]:
+            if value is None:
+                return None
+            value = np.asarray(value)
+            check_square(value, dim, what)
+            return value.astype(factor_dtype)
+
+        def load_eigen(value, dim: int, what: str) -> Optional[EigenDecomposition]:
+            if value is None:
+                return None
+            eigenvectors = np.asarray(value["eigenvectors"])
+            eigenvalues = np.asarray(value["eigenvalues"])
+            check_square(eigenvectors, dim, f"{what} eigenvectors")
+            if eigenvalues.shape != (dim,):
+                raise ValueError(
+                    f"layer {self.name!r}: {what} eigenvalues have shape {eigenvalues.shape}, expected {(dim,)}"
+                )
+            return EigenDecomposition(
+                eigenvectors=eigenvectors.astype(inverse_dtype), eigenvalues=eigenvalues.astype(inverse_dtype)
+            )
+
+        self.factor_a = load_factor(state["factor_a"], self.a_dim, "A factor")
+        self.factor_g = load_factor(state["factor_g"], self.g_dim, "G factor")
+        self.eigen_a = load_eigen(state["eigen_a"], self.a_dim, "A")
+        self.eigen_g = load_eigen(state["eigen_g"], self.g_dim, "G")
+        outer = state["inverse_outer"]
+        if outer is None:
+            self.inverse_outer = None
+        else:
+            outer = np.asarray(outer)
+            if outer.shape != (self.g_dim, self.a_dim):
+                raise ValueError(
+                    f"layer {self.name!r}: inverse_outer has shape {outer.shape}, "
+                    f"expected {(self.g_dim, self.a_dim)}"
+                )
+            self.inverse_outer = outer.astype(inverse_dtype)
+        self._a_accum = None if state["a_accum"] is None else np.asarray(state["a_accum"], dtype=np.float32)
+        self._g_accum = None if state["g_accum"] is None else np.asarray(state["g_accum"], dtype=np.float32)
+        self._a_count = int(state["a_count"])
+        self._g_count = int(state["g_count"])
+
     # ------------------------------------------------------------- gradient
     def get_gradient(self) -> np.ndarray:
         """Return the bias-folded gradient matrix of shape ``(g_dim, a_dim)``."""
@@ -243,6 +397,7 @@ class KFACLayer:
         self._remove_hook()
 
 
+@register_kfac_layer(Linear)
 class KFACLinearLayer(KFACLayer):
     """K-FAC handler for :class:`~repro.nn.linear.Linear` modules.
 
@@ -266,12 +421,6 @@ class KFACLinearLayer(KFACLayer):
             rows = np.concatenate([rows, ones], axis=1)
         self._add_a_stat(rows)
 
-    def _accumulate_g(self, grad_output: np.ndarray) -> None:
-        rows = grad_output.reshape(-1, grad_output.shape[-1])
-        # Undo the 1/N averaging of the loss so G estimates E[g gᵀ] per sample.
-        rows = rows * rows.shape[0]
-        self._add_g_stat(rows)
-
     def get_gradient(self) -> np.ndarray:
         weight_grad = self.module.weight.grad
         if weight_grad is None:
@@ -291,6 +440,7 @@ class KFACLinearLayer(KFACLayer):
         self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
 
 
+@register_kfac_layer(Conv2d)
 class KFACConv2dLayer(KFACLayer):
     """K-FAC handler for :class:`~repro.nn.conv.Conv2d` modules.
 
@@ -344,6 +494,61 @@ class KFACConv2dLayer(KFACLayer):
         self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
 
 
+@register_kfac_layer(Embedding)
+class KFACEmbeddingLayer(KFACLayer):
+    """K-FAC handler for :class:`~repro.nn.embedding.Embedding` modules.
+
+    An embedding lookup is a linear layer applied to one-hot inputs, so its
+    activation factor is ``A = E[one_hot one_hotᵀ]`` — a diagonal matrix of
+    token frequencies of size ``num_embeddings`` — and its gradient factor is
+    built from the per-position gradients of the looked-up vectors.  The A
+    statistics are accumulated directly on the diagonal (via bincount) so the
+    one-hot rows are never materialised.
+
+    The factor is ``num_embeddings x num_embeddings``, which is why large
+    vocabularies are usually excluded from preconditioning (paper section
+    5.2); this handler makes small embedding tables a supported workload.
+    Tables larger than :data:`MAX_PRECONDITIONED_VOCAB` are skipped (the
+    pre-registry default for every embedding), so ``KFAC(model)`` on a
+    production-vocabulary model cannot silently allocate a vocab² factor;
+    raise the class attribute to opt in explicitly.
+    """
+
+    #: Largest ``num_embeddings`` preconditioned by default; beyond this the
+    #: O(V²) factor memory and O(V³) eigendecomposition dominate the model.
+    MAX_PRECONDITIONED_VOCAB = 4096
+
+    @classmethod
+    def supports(cls, module: Module) -> bool:
+        return module.num_embeddings <= cls.MAX_PRECONDITIONED_VOCAB
+
+    @property
+    def a_dim(self) -> int:
+        return self.module.num_embeddings
+
+    @property
+    def g_dim(self) -> int:
+        return self.module.embedding_dim
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        ids = np.asarray(x).reshape(-1).astype(np.int64)
+        counts = np.bincount(ids, minlength=self.module.num_embeddings).astype(np.float32)
+        if self._a_accum is None:
+            self._a_accum = np.zeros((self.a_dim, self.a_dim), dtype=np.float32)
+        np.einsum("ii->i", self._a_accum)[...] += counts  # diagonal view: no V x V temporary
+        self._a_count += ids.size
+
+    def get_gradient(self) -> np.ndarray:
+        weight_grad = self.module.weight.grad
+        if weight_grad is None:
+            raise RuntimeError(f"layer {self.name!r} has no weight gradient")
+        # The handler convention is (g_dim, a_dim); the weight is (vocab, dim).
+        return weight_grad.astype(np.float32).T
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        self.module.weight.grad = matrix.T.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+
+
 def make_kfac_layer(
     name: str,
     module: Module,
@@ -351,9 +556,8 @@ def make_kfac_layer(
     should_accumulate: Callable[[], bool],
     grad_scale: Callable[[], float],
 ) -> Optional[KFACLayer]:
-    """Create the appropriate handler for ``module`` or ``None`` if unsupported."""
-    if isinstance(module, Linear):
-        return KFACLinearLayer(name, module, precision, should_accumulate, grad_scale)
-    if isinstance(module, Conv2d):
-        return KFACConv2dLayer(name, module, precision, should_accumulate, grad_scale)
-    return None
+    """Create the registered handler for ``module`` or ``None`` if unsupported."""
+    handler_cls = resolve_kfac_layer(module)
+    if handler_cls is None or not handler_cls.supports(module):
+        return None
+    return handler_cls(name, module, precision, should_accumulate, grad_scale)

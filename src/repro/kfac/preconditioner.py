@@ -1,10 +1,11 @@
 """The KAISA K-FAC gradient preconditioner.
 
-Usage mirrors the paper's Listing 1::
+Usage mirrors the paper's Listing 1, now driven by a validated config::
 
     model = ...                                   # any repro.nn model
     optimizer = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
-    preconditioner = KFAC(model, lr=0.1, grad_worker_frac=0.5)
+    config = KFACConfig.hybrid(grad_worker_frac=0.5, lr=0.1)
+    preconditioner = KFAC.from_config(model, config)
 
     for data, target in loader:
         optimizer.zero_grad()
@@ -12,6 +13,9 @@ Usage mirrors the paper's Listing 1::
         loss.backward()
         preconditioner.step()                      # precondition gradients in-place
         optimizer.step()
+
+(The legacy keyword constructor ``KFAC(model, lr=0.1, ...)`` remains
+supported; it validates through the same :class:`KFACConfig` rules.)
 
 A call to :meth:`KFAC.step` performs the four stages of Figure 3 / section 3.4:
 
@@ -28,20 +32,30 @@ A call to :meth:`KFAC.step` performs the four stages of Figure 3 / section 3.4:
 
 ``grad_worker_frac`` selects the distribution strategy (section 3.1):
 ``1/world_size`` is MEM-OPT, ``1`` is COMM-OPT, anything between is
-HYBRID-OPT.
+HYBRID-OPT.  Stages 2 and 3 are delegated to the strategy object, which owns
+the eigen-compute placement and all broadcast plans — adding a new
+distribution scheme means adding one
+:class:`~repro.kfac.strategy.DistributionStrategy` subclass.
+
+:class:`KFAC` implements the :class:`~repro.kfac.base.Preconditioner`
+protocol: :meth:`state_dict` / :meth:`load_state_dict` round-trip the running
+factors, eigen state and step counter (per rank), so checkpoint/resume
+reproduces the exact training trajectory under every distribution strategy.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..distributed.backend import Communicator, SingleProcessCommunicator
 from ..nn.module import Module
 from ..tensor import PrecisionPolicy
-from .kmath import EigenDecomposition, eigenvalue_outer_product, kl_clip_scale
+from .base import Preconditioner
+from .config import KFACConfig
+from .kmath import kl_clip_scale
 from .layers import KFACLayer, make_kfac_layer
 from .strategy import DistributionStrategy, LayerWorkGroups
 from .triangular import pack_upper_triangle, unpack_upper_triangle
@@ -49,7 +63,7 @@ from .triangular import pack_upper_triangle, unpack_upper_triangle
 __all__ = ["KFAC"]
 
 
-class KFAC:
+class KFAC(Preconditioner):
     """K-FAC second-order gradient preconditioner with a tunable memory footprint."""
 
     def __init__(
@@ -61,54 +75,127 @@ class KFAC:
         kl_clip: float = 0.001,
         factor_update_freq: int = 10,
         inv_update_freq: int = 100,
-        grad_worker_frac: float = 1.0,
+        grad_worker_frac: Optional[float] = None,
         precision: Union[str, PrecisionPolicy] = "fp32",
         grad_scaler=None,
         comm: Optional[Communicator] = None,
         skip_modules: Sequence[Module] = (),
-        assignment_balance: str = "compute",
+        assignment_balance: Optional[str] = None,
         compute_eigen_outer: bool = True,
         triangular_comm: bool = False,
         profiler=None,
+        strategy: Optional[DistributionStrategy] = None,
     ) -> None:
-        if factor_update_freq < 1 or inv_update_freq < 1:
-            raise ValueError("update frequencies must be >= 1")
-        if inv_update_freq % factor_update_freq != 0:
-            raise ValueError(
-                "inv_update_freq must be a multiple of factor_update_freq "
-                f"(got {inv_update_freq} and {factor_update_freq})"
-            )
-        if not 0.0 < factor_decay <= 1.0:
-            raise ValueError("factor_decay must be in (0, 1]")
-        if damping <= 0.0:
-            raise ValueError("damping must be positive")
+        if isinstance(precision, PrecisionPolicy):
+            policy = precision
+            precision_name = policy.name or "fp32"  # custom policies validate the rest of the config
+        else:
+            policy = PrecisionPolicy.from_name(precision)
+            precision_name = precision
+        if strategy is not None:
+            # The strategy object owns these; a conflicting explicit argument
+            # would be silently dropped, so reject it instead.
+            if grad_worker_frac is not None or assignment_balance is not None:
+                raise ValueError(
+                    "pass either an explicit strategy or grad_worker_frac/assignment_balance, not both"
+                )
+            grad_worker_frac = getattr(strategy, "grad_worker_frac", 1.0)
+            assignment_balance = getattr(strategy, "balance", "compute")
+        # All hyperparameter validation lives in KFACConfig so code, checkpoints
+        # and experiment manifests are checked by the same rules; the instance
+        # reads its hyperparameters back from the validated config.
+        config = KFACConfig(
+            lr=lr,
+            factor_decay=factor_decay,
+            damping=damping,
+            kl_clip=kl_clip,
+            factor_update_freq=factor_update_freq,
+            inv_update_freq=inv_update_freq,
+            grad_worker_frac=1.0 if grad_worker_frac is None else grad_worker_frac,
+            precision=precision_name,
+            assignment_balance="compute" if assignment_balance is None else assignment_balance,
+            compute_eigen_outer=compute_eigen_outer,
+            triangular_comm=triangular_comm,
+        )
 
         self.model = model
-        self.lr = float(lr)
-        self.factor_decay = float(factor_decay)
-        self.damping = float(damping)
-        self.kl_clip = float(kl_clip)
-        self.factor_update_freq = int(factor_update_freq)
-        self.inv_update_freq = int(inv_update_freq)
+        self.lr = config.lr
+        self.factor_decay = config.factor_decay
+        self.damping = config.damping
+        self.kl_clip = config.kl_clip
+        self.factor_update_freq = config.factor_update_freq
+        self.inv_update_freq = config.inv_update_freq
         self.grad_scaler = grad_scaler
         self.comm = comm if comm is not None else SingleProcessCommunicator()
-        self.compute_eigen_outer = bool(compute_eigen_outer)
-        self.triangular_comm = bool(triangular_comm)
+        self.compute_eigen_outer = config.compute_eigen_outer
+        self.triangular_comm = config.triangular_comm
         self.profiler = profiler
+        self._base_config = config
 
-        self.precision = precision if isinstance(precision, PrecisionPolicy) else PrecisionPolicy.from_name(precision)
-        self.strategy = DistributionStrategy(
-            world_size=self.comm.world_size, grad_worker_frac=grad_worker_frac, balance=assignment_balance
-        )
+        self.precision = policy
+        if strategy is None:
+            strategy = DistributionStrategy(
+                world_size=self.comm.world_size,
+                grad_worker_frac=config.grad_worker_frac,
+                balance=config.assignment_balance,
+            )
+        elif strategy.world_size != self.comm.world_size:
+            raise ValueError(
+                f"strategy world size {strategy.world_size} does not match "
+                f"communicator world size {self.comm.world_size}"
+            )
+        self.strategy = strategy
 
         self._steps = 0
         self._skip_ids = {id(m) for m in skip_modules}
         self.layers: Dict[str, KFACLayer] = {}
         self._register_model(model)
         if not self.layers:
-            raise ValueError("model contains no Linear or Conv2d layers to precondition")
+            raise ValueError("model contains no K-FAC-supported layers to precondition")
         self.groups: Dict[str, LayerWorkGroups] = self.strategy.assign(
             [layer.shape_info() for layer in self.layers.values()]
+        )
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_config(
+        cls,
+        model: Module,
+        config: KFACConfig,
+        *,
+        comm: Optional[Communicator] = None,
+        grad_scaler=None,
+        skip_modules: Sequence[Module] = (),
+        profiler=None,
+        strategy: Optional[DistributionStrategy] = None,
+    ) -> "KFAC":
+        """Build a preconditioner from a :class:`KFACConfig`.
+
+        Per-run objects (communicator, grad scaler, skipped modules, profiler,
+        or a custom strategy instance) are passed separately because they are
+        not serializable hyperparameters.
+        """
+        if not isinstance(config, KFACConfig):
+            raise TypeError(f"expected KFACConfig, got {type(config).__name__}")
+        hyperparams = config.to_dict()
+        if strategy is not None:
+            # The strategy object owns distribution; require the config to agree
+            # so a checkpointed config round-trips to the same behavior.
+            frac = hyperparams.pop("grad_worker_frac")
+            balance = hyperparams.pop("assignment_balance")
+            if getattr(strategy, "grad_worker_frac", frac) != frac or getattr(strategy, "balance", balance) != balance:
+                raise ValueError(
+                    "config and strategy disagree on grad_worker_frac/assignment_balance; "
+                    "align the config with the strategy instance"
+                )
+        return cls(
+            model,
+            **hyperparams,
+            grad_scaler=grad_scaler,
+            comm=comm,
+            skip_modules=skip_modules,
+            profiler=profiler,
+            strategy=strategy,
         )
 
     # ------------------------------------------------------------ registration
@@ -157,6 +244,19 @@ class KFAC:
     @property
     def grad_worker_frac(self) -> float:
         return self.strategy.grad_worker_frac
+
+    @property
+    def config(self) -> KFACConfig:
+        """Current hyperparameters as a serializable :class:`KFACConfig`."""
+        precision_name = self.precision.name
+        if precision_name is None:
+            raise ValueError("precision policy has no canonical name; the config is not serializable")
+        return self._base_config.replace(
+            lr=self.lr,  # the only hyperparameter that mutates after construction (step(lr=...))
+            precision=precision_name,
+            grad_worker_frac=getattr(self.strategy, "grad_worker_frac", self._base_config.grad_worker_frac),
+            assignment_balance=getattr(self.strategy, "balance", self._base_config.assignment_balance),
+        )
 
     def layer_names(self) -> List[str]:
         return list(self.layers.keys())
@@ -217,61 +317,15 @@ class KFAC:
                 )
 
     # -------------------------------------------------------- stage 2: eigen decomp
+    # The placement of the decompositions, which ranks keep them, and every
+    # broadcast plan are owned by the strategy object (section 3.1).
     def _compute_eigen_decompositions(self) -> None:
-        comm_opt = self.strategy.num_grad_workers >= self.world_size
         for name, layer in self.layers.items():
-            group = self.groups[name]
-            if comm_opt:
-                # COMM-OPT distributes individual factors across ranks
-                # (section 2.2.2); the outer product is formed locally by every
-                # rank after the eigen broadcast since all ranks cache the
-                # decompositions anyway.
-                if self.rank == group.eigen_worker_a:
-                    layer.eigen_a = _compute_single_eigen(layer, "a", self.precision)
-                if self.rank == group.eigen_worker_g:
-                    layer.eigen_g = _compute_single_eigen(layer, "g", self.precision)
-            else:
-                if self.rank == group.eigen_worker:
-                    layer.compute_eigen(self.damping, compute_outer=self.compute_eigen_outer)
+            self.strategy.compute_eigen(layer, self.groups[name], self)
 
     def _broadcast_eigen_decompositions(self) -> None:
-        if self.world_size == 1:
-            for layer in self.layers.values():
-                if not layer.has_eigen:
-                    layer.compute_eigen(self.damping, compute_outer=self.compute_eigen_outer)
-                elif layer.inverse_outer is None and self.compute_eigen_outer:
-                    layer.inverse_outer = eigenvalue_outer_product(
-                        layer.eigen_a, layer.eigen_g, self.damping, dtype=self.precision.inverse_dtype
-                    )
-            return
-
-        comm_opt = self.strategy.num_grad_workers >= self.world_size
         for name, layer in self.layers.items():
-            group = self.groups[name]
-            if comm_opt:
-                layer.eigen_a = _broadcast_eigen(self.comm, layer.eigen_a, group.eigen_worker_a, None)
-                layer.eigen_g = _broadcast_eigen(self.comm, layer.eigen_g, group.eigen_worker_g, None)
-                if self.compute_eigen_outer:
-                    layer.inverse_outer = eigenvalue_outer_product(
-                        layer.eigen_a, layer.eigen_g, self.damping, dtype=self.precision.inverse_dtype
-                    )
-                else:
-                    layer.inverse_outer = None
-            else:
-                # HYBRID / MEM-OPT: only the gradient workers receive the eigen
-                # decompositions (this is exactly the tunable memory footprint).
-                if not group.is_grad_worker(self.rank):
-                    layer.clear_eigen()
-                    continue
-                bcast_group = group.grad_workers
-                src = group.eigen_worker
-                layer.eigen_a = _broadcast_eigen(self.comm, layer.eigen_a, src, bcast_group)
-                layer.eigen_g = _broadcast_eigen(self.comm, layer.eigen_g, src, bcast_group)
-                if self.compute_eigen_outer:
-                    outer = layer.inverse_outer if self.rank == src else None
-                    layer.inverse_outer = self.comm.broadcast(outer, src=src, group=bcast_group)
-                else:
-                    layer.inverse_outer = None
+            self.strategy.broadcast_eigen(layer, self.groups[name], self)
 
     # ------------------------------------------------------ stage 3: precondition
     def _precondition_gradients(self) -> Dict[str, Optional[np.ndarray]]:
@@ -287,18 +341,9 @@ class KFAC:
     def _broadcast_preconditioned_gradients(
         self, preconditioned: Dict[str, Optional[np.ndarray]]
     ) -> Dict[str, Optional[np.ndarray]]:
-        if self.world_size == 1 or self.strategy.num_grad_workers >= self.world_size:
-            return preconditioned
         out: Dict[str, Optional[np.ndarray]] = {}
-        for name, layer in self.layers.items():
-            group = self.groups[name]
-            worker = group.grad_worker_for(self.rank)
-            members = (worker,) + group.receivers_of(worker)
-            if len(members) == 1:
-                out[name] = preconditioned[name]
-                continue
-            value = preconditioned[name] if self.rank == worker else None
-            out[name] = self.comm.broadcast(value, src=worker, group=members)
+        for name in self.layers:
+            out[name] = self.strategy.broadcast_gradient(self.groups[name], preconditioned[name], self)
         return out
 
     # --------------------------------------------------- stage 4: scale and update
@@ -312,6 +357,45 @@ class KFAC:
         nu = kl_clip_scale(pairs, self.lr, self.kl_clip)
         for (name, layer), (_, precond) in zip(self.layers.items(), pairs):
             layer.set_gradient(precond * nu)
+
+    # ------------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, Any]:
+        """This rank's complete mutable preconditioner state.
+
+        The dict contains the step counter, the hyperparameters (as a
+        :class:`KFACConfig` dict, for bookkeeping) and per-layer factor/eigen
+        state.  Under MEM-OPT / HYBRID-OPT different ranks hold different
+        eigen state, so each rank checkpoints and restores its own dict.
+        """
+        try:
+            config = self.config.to_dict()
+        except ValueError:
+            config = None  # custom precision policies have no serializable name
+        return {
+            "steps": self._steps,
+            "config": config,
+            "layers": {name: layer.state_dict() for name, layer in self.layers.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        The registered layers must match the checkpoint exactly (same names,
+        same shapes); arrays are cast to this instance's precision policy.
+        Hyperparameters are *not* overwritten — construct the instance from
+        the same :class:`KFACConfig` to resume the identical schedule.
+        """
+        layer_states = state["layers"]
+        missing = sorted(set(self.layers) - set(layer_states))
+        unexpected = sorted(set(layer_states) - set(self.layers))
+        if missing or unexpected:
+            raise ValueError(
+                "preconditioner state does not match the registered layers "
+                f"(missing: {missing}, unexpected: {unexpected})"
+            )
+        for name, layer in self.layers.items():
+            layer.load_state_dict(layer_states[name])
+        self._steps = int(state["steps"])
 
     # ------------------------------------------------------------------- memory
     def memory_usage(self) -> Dict[str, int]:
@@ -328,36 +412,3 @@ class KFAC:
             layer.factor_g = None
             layer.clear_eigen()
         self._steps = 0
-
-
-def _compute_single_eigen(layer: KFACLayer, which: str, precision: PrecisionPolicy) -> EigenDecomposition:
-    from .kmath import symmetric_eigen
-
-    factor = layer.factor_a if which == "a" else layer.factor_g
-    if factor is None:
-        raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor")
-    return symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(precision.inverse_dtype)
-
-
-def _broadcast_eigen(
-    comm: Communicator,
-    eigen: Optional[EigenDecomposition],
-    src: int,
-    group: Optional[Sequence[int]],
-) -> EigenDecomposition:
-    """Broadcast an eigen decomposition as a single packed buffer."""
-    if comm.rank == src:
-        if eigen is None:
-            raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
-        n = eigen.eigenvectors.shape[0]
-        packed = np.concatenate(
-            [np.array([n], dtype=np.float32), eigen.eigenvalues.astype(np.float32), eigen.eigenvectors.astype(np.float32).reshape(-1)]
-        )
-    else:
-        packed = None
-    received = comm.broadcast(packed, src=src, group=group)
-    n = int(received[0])
-    eigenvalues = received[1 : 1 + n]
-    eigenvectors = received[1 + n :].reshape(n, n)
-    dtype = eigen.eigenvalues.dtype if eigen is not None else np.float32
-    return EigenDecomposition(eigenvectors=eigenvectors.astype(dtype), eigenvalues=eigenvalues.astype(dtype))

@@ -14,16 +14,43 @@ precondition its gradient locally:
   decompositions to the gradient-worker subset; each gradient worker then
   broadcasts the preconditioned gradient to its own (smaller) receiver group,
   and those broadcasts proceed concurrently.
+
+Each strategy is one class owning its complete execution plan — worker
+assignment (:meth:`DistributionStrategy.assign`), eigen-decomposition
+placement (:meth:`DistributionStrategy.compute_eigen`), eigen broadcast
+(:meth:`DistributionStrategy.broadcast_eigen`) and per-iteration gradient
+broadcast (:meth:`DistributionStrategy.broadcast_gradient`).  A new
+distribution scheme is a new subclass; the preconditioner never branches on
+the scheme itself.  Constructing the base class dispatches to the matching
+subclass from ``grad_worker_frac``, so ``DistributionStrategy(world, frac)``
+keeps working as a factory.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .assignment import greedy_lpt_assignment
+from .kmath import EigenDecomposition, eigenvalue_outer_product, symmetric_eigen
 
-__all__ = ["LayerShapeInfo", "LayerWorkGroups", "DistributionStrategy"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..distributed.backend import Communicator
+    from .layers import KFACLayer
+    from .preconditioner import KFAC
+
+__all__ = [
+    "LayerShapeInfo",
+    "LayerWorkGroups",
+    "DistributionStrategy",
+    "CommOptStrategy",
+    "HybridOptStrategy",
+    "MemOptStrategy",
+    "broadcast_eigen_packed",
+]
 
 
 @dataclass(frozen=True)
@@ -83,8 +110,74 @@ class LayerWorkGroups:
         return 1 + max(len(r) for r in self.receiver_map.values())
 
 
+def broadcast_eigen_packed(
+    comm: "Communicator",
+    eigen: Optional[EigenDecomposition],
+    src: int,
+    group: Optional[Sequence[int]],
+    dtype=np.float32,
+) -> EigenDecomposition:
+    """Broadcast an eigen decomposition as a single packed buffer in ``dtype``.
+
+    ``dtype`` should be the precision policy's inverse dtype so a fp64 (or
+    fp16) policy is not silently truncated to float32 on the wire.  The
+    dimension is recovered from the buffer length (``len = n + n*n``) instead
+    of a header value, so no dtype has to represent ``n`` exactly.
+    """
+    group_size = len(group) if group is not None else comm.world_size
+    if group_size <= 1:
+        if eigen is None:
+            raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
+        return eigen.astype(dtype)
+    if comm.rank == src:
+        if eigen is None:
+            raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
+        packed = np.concatenate(
+            [eigen.eigenvalues.astype(dtype).reshape(-1), eigen.eigenvectors.astype(dtype).reshape(-1)]
+        )
+    else:
+        packed = None
+    received = comm.broadcast(packed, src=src, group=group)
+    n = (math.isqrt(4 * received.size + 1) - 1) // 2
+    if n * (n + 1) != received.size:
+        raise RuntimeError(f"packed eigen buffer of length {received.size} is not n + n*n for any n")
+    eigenvalues = received[:n].astype(dtype)
+    eigenvectors = received[n:].reshape(n, n).astype(dtype)
+    return EigenDecomposition(eigenvectors=eigenvectors, eigenvalues=eigenvalues)
+
+
+def _compute_single_eigen(layer: "KFACLayer", which: str, precision) -> EigenDecomposition:
+    factor = layer.factor_a if which == "a" else layer.factor_g
+    if factor is None:
+        raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor")
+    return symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(precision.inverse_dtype)
+
+
 class DistributionStrategy:
-    """Builds per-layer worker groups for a given world size and ``grad_worker_frac``."""
+    """Base class and factory for per-layer work distribution schemes.
+
+    ``DistributionStrategy(world_size, grad_worker_frac, balance)`` returns
+    the subclass matching the fraction (COMM-OPT / HYBRID-OPT / MEM-OPT); a
+    custom scheme subclasses this and implements :meth:`assign`,
+    :meth:`compute_eigen`, :meth:`broadcast_eigen` and
+    :meth:`broadcast_gradient`.
+    """
+
+    name: str = "CUSTOM"
+
+    def __new__(cls, world_size: int = 1, grad_worker_frac: float = 1.0, balance: str = "compute"):
+        if cls is DistributionStrategy:
+            try:
+                num_gw = max(1, int(round(float(grad_worker_frac) * int(world_size))))
+            except (TypeError, ValueError):
+                num_gw = 1  # defer the error to __init__ validation
+            if num_gw >= world_size:
+                cls = CommOptStrategy
+            elif num_gw == 1:
+                cls = MemOptStrategy
+            else:
+                cls = HybridOptStrategy
+        return super().__new__(cls)
 
     def __init__(self, world_size: int, grad_worker_frac: float = 1.0, balance: str = "compute") -> None:
         if world_size < 1:
@@ -96,36 +189,37 @@ class DistributionStrategy:
         self.world_size = int(world_size)
         self.grad_worker_frac = float(grad_worker_frac)
         self.balance = balance
+        self._check_consistency()
+
+    def _check_consistency(self) -> None:
+        """Subclass hook: reject a ``grad_worker_frac`` that contradicts the class.
+
+        The factory dispatch always satisfies these; the checks protect
+        *direct* subclass construction, where class identity, runtime behavior
+        and the serialized config would otherwise silently disagree.
+        """
 
     # ------------------------------------------------------------- factories
     @classmethod
     def mem_opt(cls, world_size: int) -> "DistributionStrategy":
         """MEM-OPT: a single gradient worker per layer."""
-        return cls(world_size, grad_worker_frac=1.0 / world_size)
+        return DistributionStrategy(world_size, grad_worker_frac=1.0 / world_size)
 
     @classmethod
     def comm_opt(cls, world_size: int) -> "DistributionStrategy":
         """COMM-OPT: every rank is a gradient worker."""
-        return cls(world_size, grad_worker_frac=1.0)
+        return DistributionStrategy(world_size, grad_worker_frac=1.0)
 
     @classmethod
     def hybrid(cls, world_size: int, grad_worker_frac: float = 0.5) -> "DistributionStrategy":
         """HYBRID-OPT with an arbitrary gradient-worker fraction."""
-        return cls(world_size, grad_worker_frac=grad_worker_frac)
+        return DistributionStrategy(world_size, grad_worker_frac=grad_worker_frac)
 
     # ------------------------------------------------------------ properties
     @property
     def num_grad_workers(self) -> int:
         """``max(1, grad_worker_frac * world_size)`` as defined in section 3.1."""
         return max(1, int(round(self.grad_worker_frac * self.world_size)))
-
-    @property
-    def name(self) -> str:
-        if self.num_grad_workers >= self.world_size:
-            return "COMM-OPT"
-        if self.num_grad_workers == 1:
-            return "MEM-OPT"
-        return "HYBRID-OPT"
 
     # ------------------------------------------------------------ assignment
     def _layer_costs(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, float]:
@@ -136,49 +230,127 @@ class DistributionStrategy:
     def assign(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, LayerWorkGroups]:
         """Assign eigen workers, gradient workers and receiver groups for every layer.
 
-        The assignment is a deterministic function of the layer list and the
-        strategy parameters, so every rank computes the identical plan without
-        communication (exactly how the reference implementation behaves).
+        The assignment must be a deterministic function of the layer list and
+        the strategy parameters, so every rank computes the identical plan
+        without communication (exactly how the reference implementation
+        behaves).
         """
+        raise NotImplementedError
+
+    # -------------------------------------------------------- execution plan
+    def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        """Compute this rank's share of ``layer``'s eigen decompositions."""
+        raise NotImplementedError
+
+    def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        """Distribute (or drop) the eigen state according to the memory plan."""
+        raise NotImplementedError
+
+    def broadcast_gradient(
+        self, group: LayerWorkGroups, value: Optional[np.ndarray], pre: "KFAC"
+    ) -> Optional[np.ndarray]:
+        """Send one layer's preconditioned gradient from its worker(s) to this rank."""
+        raise NotImplementedError
+
+
+class CommOptStrategy(DistributionStrategy):
+    """COMM-OPT: every rank caches every eigen decomposition (section 2.2.2).
+
+    Individual factors (A and G separately) are distributed across ranks for
+    the eigen decompositions, doubling worker utilisation; the decompositions
+    are broadcast world-wide, so preconditioning is local on every rank and no
+    per-iteration gradient broadcast is needed.
+    """
+
+    name = "COMM-OPT"
+
+    def _check_consistency(self) -> None:
+        if self.num_grad_workers < self.world_size:
+            raise ValueError(
+                f"COMM-OPT requires every rank to be a gradient worker, but grad_worker_frac="
+                f"{self.grad_worker_frac} gives {self.num_grad_workers}/{self.world_size}; "
+                "use DistributionStrategy(world_size, frac) to dispatch by fraction"
+            )
+
+    def assign(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, LayerWorkGroups]:
+        if not layers:
+            return {}
+        world = self.world_size
+        factor_costs: Dict[Tuple[str, str], float] = {}
+        for layer in layers:
+            if self.balance == "memory":
+                factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 2
+                factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 2
+            else:
+                factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 3
+                factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 3
+        result = greedy_lpt_assignment(factor_costs, world)
+        all_ranks = tuple(range(world))
+        groups: Dict[str, LayerWorkGroups] = {}
+        for layer in layers:
+            groups[layer.name] = LayerWorkGroups(
+                layer=layer,
+                eigen_worker_a=result.assignment[(layer.name, "A")],
+                eigen_worker_g=result.assignment[(layer.name, "G")],
+                grad_workers=all_ranks,
+                receiver_map={},
+            )
+        return groups
+
+    def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        # The A and G factors of one layer may live on different ranks; the
+        # eigenvalue outer product is formed locally by every rank after the
+        # eigen broadcast since all ranks cache the decompositions anyway.
+        if pre.rank == group.eigen_worker_a:
+            layer.eigen_a = _compute_single_eigen(layer, "a", pre.precision)
+        if pre.rank == group.eigen_worker_g:
+            layer.eigen_g = _compute_single_eigen(layer, "g", pre.precision)
+
+    def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        dtype = pre.precision.inverse_dtype
+        layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, group.eigen_worker_a, None, dtype)
+        layer.eigen_g = broadcast_eigen_packed(pre.comm, layer.eigen_g, group.eigen_worker_g, None, dtype)
+        if pre.compute_eigen_outer:
+            layer.inverse_outer = eigenvalue_outer_product(layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype)
+        else:
+            layer.inverse_outer = None
+
+    def broadcast_gradient(
+        self, group: LayerWorkGroups, value: Optional[np.ndarray], pre: "KFAC"
+    ) -> Optional[np.ndarray]:
+        return value  # every rank is a gradient worker; nothing to send
+
+
+class HybridOptStrategy(DistributionStrategy):
+    """HYBRID-OPT: a tunable gradient-worker subset per layer (Figure 4).
+
+    Whole layers are distributed; a layer's eigen worker handles both factors
+    and is one of its gradient workers.  Ranks are partitioned into fixed
+    blocks of ``num_grad_workers`` processes (the dashed red box of Figure 4);
+    the gradient workers of a layer are the block containing its eigen worker,
+    and each gradient worker broadcasts the preconditioned gradient to its
+    share of the remaining ranks, so the broadcasts are small and concurrent.
+    """
+
+    name = "HYBRID-OPT"
+
+    def _check_consistency(self) -> None:
+        if not 1 < self.num_grad_workers < self.world_size:
+            raise ValueError(
+                f"HYBRID-OPT requires 1 < gradient workers < world size, but grad_worker_frac="
+                f"{self.grad_worker_frac} gives {self.num_grad_workers}/{self.world_size}; "
+                "use DistributionStrategy(world_size, frac) to dispatch by fraction"
+            )
+
+    def assign(self, layers: Sequence[LayerShapeInfo]) -> Dict[str, LayerWorkGroups]:
         if not layers:
             return {}
         world = self.world_size
         num_gw = min(self.num_grad_workers, world)
-        groups: Dict[str, LayerWorkGroups] = {}
-
-        if num_gw >= world:
-            # COMM-OPT: distribute individual *factors* (A and G separately),
-            # doubling the worker utilisation as described in section 2.2.2.
-            factor_costs: Dict[Tuple[str, str], float] = {}
-            for layer in layers:
-                if self.balance == "memory":
-                    factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 2
-                    factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 2
-                else:
-                    factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 3
-                    factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 3
-            result = greedy_lpt_assignment(factor_costs, world)
-            all_ranks = tuple(range(world))
-            for layer in layers:
-                groups[layer.name] = LayerWorkGroups(
-                    layer=layer,
-                    eigen_worker_a=result.assignment[(layer.name, "A")],
-                    eigen_worker_g=result.assignment[(layer.name, "G")],
-                    grad_workers=all_ranks,
-                    receiver_map={},
-                )
-            return groups
-
-        # MEM-OPT / HYBRID-OPT: distribute whole layers; the eigen worker for a
-        # layer handles both of its factors and is one of its gradient workers.
-        # Ranks are partitioned into fixed blocks of ``num_gw`` processes (the
-        # dashed red box of Figure 4); the gradient workers of a layer are the
-        # block that contains its eigen worker, and each gradient worker
-        # broadcasts the preconditioned gradient to its share of the remaining
-        # ranks, so the broadcasts are small and run concurrently.
         layer_costs = self._layer_costs(layers)
         result = greedy_lpt_assignment(layer_costs, world)
         blocks = [list(range(start, min(start + num_gw, world))) for start in range(0, world, num_gw)]
+        groups: Dict[str, LayerWorkGroups] = {}
         for layer in layers:
             eigen_worker = result.assignment[layer.name]
             block = blocks[eigen_worker // num_gw]
@@ -196,3 +368,57 @@ class DistributionStrategy:
                 receiver_map={worker: tuple(recv) for worker, recv in receiver_map.items()},
             )
         return groups
+
+    def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        if pre.rank == group.eigen_worker:
+            layer.compute_eigen(pre.damping, compute_outer=pre.compute_eigen_outer)
+
+    def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        # Only the gradient workers receive (and keep) the eigen decompositions
+        # — this is exactly the tunable memory footprint of section 3.1.
+        if not group.is_grad_worker(pre.rank):
+            layer.clear_eigen()
+            return
+        dtype = pre.precision.inverse_dtype
+        bcast_group = group.grad_workers
+        src = group.eigen_worker
+        layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, src, bcast_group, dtype)
+        layer.eigen_g = broadcast_eigen_packed(pre.comm, layer.eigen_g, src, bcast_group, dtype)
+        if pre.compute_eigen_outer:
+            if len(bcast_group) <= 1:
+                outer = layer.inverse_outer
+            else:
+                outer = layer.inverse_outer if pre.rank == src else None
+                outer = pre.comm.broadcast(outer, src=src, group=bcast_group)
+            layer.inverse_outer = outer
+        else:
+            layer.inverse_outer = None
+
+    def broadcast_gradient(
+        self, group: LayerWorkGroups, value: Optional[np.ndarray], pre: "KFAC"
+    ) -> Optional[np.ndarray]:
+        worker = group.grad_worker_for(pre.rank)
+        members = (worker,) + group.receivers_of(worker)
+        if len(members) == 1:
+            return value
+        send = value if pre.rank == worker else None
+        return pre.comm.broadcast(send, src=worker, group=members)
+
+
+class MemOptStrategy(HybridOptStrategy):
+    """MEM-OPT: one gradient worker per layer — the minimum-memory endpoint.
+
+    Algorithmically the HYBRID-OPT plan with a gradient-worker block of size
+    one: the eigen worker is the sole gradient worker and broadcasts the
+    preconditioned gradient to every other rank each iteration.
+    """
+
+    name = "MEM-OPT"
+
+    def _check_consistency(self) -> None:
+        if self.num_grad_workers != 1:
+            raise ValueError(
+                f"MEM-OPT requires exactly one gradient worker per layer, but grad_worker_frac="
+                f"{self.grad_worker_frac} gives {self.num_grad_workers}/{self.world_size}; "
+                "pass grad_worker_frac=1/world_size or use DistributionStrategy to dispatch"
+            )

@@ -90,3 +90,19 @@ class GradScaler:
                 self._growth_tracker = 0
         self._found_inf = False
         self._unscaled = False
+
+    def state_dict(self) -> dict:
+        """Mutable loss-scale state for checkpoint/resume."""
+        return {
+            "scale": self._scale,
+            "growth_tracker": self._growth_tracker,
+            "found_inf": self._found_inf,
+            "unscaled": self._unscaled,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self._scale = float(state["scale"])
+        self._growth_tracker = int(state["growth_tracker"])
+        self._found_inf = bool(state["found_inf"])
+        self._unscaled = bool(state["unscaled"])

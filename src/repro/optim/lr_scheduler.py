@@ -37,6 +37,16 @@ class LRScheduler:
         for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
             group["lr"] = lr
 
+    def state_dict(self) -> dict:
+        """Mutable scheduler state (the step counter) for checkpoint/resume."""
+        return {"last_step": self.last_step}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output and re-apply the LR it implies."""
+        self.last_step = int(state["last_step"])
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
 
 class WarmupConstant(LRScheduler):
     """Linear warmup followed by a constant learning rate."""

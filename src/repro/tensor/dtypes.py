@@ -93,6 +93,11 @@ class PrecisionPolicy:
         return PrecisionPolicy(np.dtype(np.float32), np.dtype(np.float32), np.dtype(np.float32))
 
     @staticmethod
+    def fp64() -> "PrecisionPolicy":
+        """Full double-precision policy (numerical-reference runs)."""
+        return PrecisionPolicy(np.dtype(np.float64), np.dtype(np.float64), np.dtype(np.float64))
+
+    @staticmethod
     def amp(store_inverses_fp16: bool = True) -> "PrecisionPolicy":
         """Mixed-precision policy: fp16 storage, fp32 eigen decomposition."""
         inv = np.float16 if store_inverses_fp16 else np.float32
@@ -100,10 +105,20 @@ class PrecisionPolicy:
 
     @staticmethod
     def from_name(name: str) -> "PrecisionPolicy":
-        """Build a policy from ``"fp32"`` / ``"fp16"`` / ``"amp"``."""
+        """Build a policy from ``"fp32"`` / ``"fp16"`` / ``"amp"`` / ``"fp64"``."""
         lowered = name.lower()
         if lowered in ("fp32", "float32", "single"):
             return PrecisionPolicy.fp32()
         if lowered in ("fp16", "float16", "half", "amp"):
             return PrecisionPolicy.amp()
+        if lowered in ("fp64", "float64", "double"):
+            return PrecisionPolicy.fp64()
         raise ValueError(f"unknown precision policy: {name!r}")
+
+    @property
+    def name(self) -> "str | None":
+        """Canonical name accepted by :meth:`from_name`, or ``None`` for custom policies."""
+        for candidate in ("fp32", "fp16", "fp64"):
+            if self == PrecisionPolicy.from_name(candidate):
+                return candidate
+        return None

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..distributed.backend import Communicator
 from ..distributed.ddp import allreduce_gradients
+from ..kfac.base import Preconditioner
 from ..nn.module import Module
 from ..optim.grad_scaler import GradScaler
 from ..optim.lr_scheduler import LRScheduler
@@ -36,8 +37,10 @@ class Trainer:
         ``forward_loss(model, batch) -> loss Tensor``; the trainer stays
         agnostic of the workload's batch structure.
     preconditioner:
-        Optional :class:`repro.kfac.KFAC` instance; its ``step()`` is invoked
-        between the gradient synchronization and the optimizer step.
+        Optional :class:`repro.kfac.Preconditioner` implementation (e.g.
+        :class:`repro.kfac.KFAC`); its ``step()`` is invoked between the
+        gradient synchronization and the optimizer step, and its state is
+        included in :meth:`state_dict` for checkpoint/resume.
     iteration_time:
         Optional simulated seconds per iteration (from
         :class:`repro.kfac.IterationTimeModel`), used to accumulate the
@@ -49,7 +52,7 @@ class Trainer:
         model: Module,
         optimizer: Optimizer,
         forward_loss: ForwardLoss,
-        preconditioner=None,
+        preconditioner: Optional[Preconditioner] = None,
         lr_scheduler: Optional[LRScheduler] = None,
         grad_scaler: Optional[GradScaler] = None,
         comm: Optional[Communicator] = None,
@@ -58,6 +61,11 @@ class Trainer:
     ) -> None:
         if grad_accumulation_steps < 1:
             raise ValueError("grad_accumulation_steps must be >= 1")
+        if preconditioner is not None and not isinstance(preconditioner, Preconditioner):
+            raise TypeError(
+                "preconditioner must implement repro.kfac.Preconditioner "
+                f"(got {type(preconditioner).__name__}); subclass it to plug in a custom scheme"
+            )
         self.model = model
         self.optimizer = optimizer
         self.forward_loss = forward_loss
@@ -111,6 +119,62 @@ class Trainer:
         if self.iteration_time is not None:
             self.simulated_time += self.iteration_time
         return total_loss / len(micro_batches)
+
+    # ------------------------------------------------------------ checkpoint
+    def state_dict(self) -> dict:
+        """Checkpointable trainer state: model, preconditioner, scheduler/scaler, counters.
+
+        (First-order optimizer buffers are not yet serializable; everything
+        else — model weights, K-FAC factors/eigen state, LR-schedule position,
+        loss scale and iteration counters — round-trips.)
+        """
+        state = {
+            "iterations": self.iterations,
+            "simulated_time": self.simulated_time,
+            "model": self.model.state_dict(),
+            "preconditioner": None,
+            "lr_scheduler": None,
+            "grad_scaler": None,
+        }
+        if self.preconditioner is not None:
+            state["preconditioner"] = self.preconditioner.state_dict()
+        if self.lr_scheduler is not None:
+            state["lr_scheduler"] = self.lr_scheduler.state_dict()
+        if self.grad_scaler is not None:
+            state["grad_scaler"] = self.grad_scaler.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        A component configured on this trainer but absent from the checkpoint
+        (or vice versa) raises: resuming would silently keep stale state.
+        """
+        self.model.load_state_dict(state["model"])
+        for attr, key in (
+            ("preconditioner", "preconditioner"),
+            ("lr_scheduler", "lr_scheduler"),
+            ("grad_scaler", "grad_scaler"),
+        ):
+            component = getattr(self, attr)
+            component_state = state.get(key)
+            if component_state is not None:
+                if component is None:
+                    raise ValueError(f"checkpoint contains {key} state but the trainer has no {key}")
+                component.load_state_dict(component_state)
+            elif component is not None:
+                raise ValueError(
+                    f"trainer has a {key} but the checkpoint contains no {key} state; "
+                    "resuming would silently keep stale state"
+                )
+        self.iterations = int(state["iterations"])
+        self.simulated_time = float(state["simulated_time"])
+
+    def preconditioner_memory(self) -> dict:
+        """Per-rank preconditioner state bytes (empty categories when none is set)."""
+        if self.preconditioner is None:
+            return {"factors": 0, "eigen": 0, "total": 0}
+        return dict(self.preconditioner.memory_usage())
 
     # ------------------------------------------------------------------- fit
     def fit(

@@ -1,49 +1,11 @@
-"""Shared fixtures and numerical-gradient helpers for the test suite."""
+"""Shared fixtures for the test suite (gradient helpers live in gradcheck.py)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor
-
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
-
-
-def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
-    """Central-difference gradient of a scalar-valued ``fn`` w.r.t. ``x``."""
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat = x.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for index in range(flat.size):
-        original = flat[index]
-        flat[index] = original + eps
-        plus = fn(x.copy())
-        flat[index] = original - eps
-        minus = fn(x.copy())
-        flat[index] = original
-        grad_flat[index] = (plus - minus) / (2 * eps)
-    return grad
-
-
-def check_gradient(build_loss, x: np.ndarray, atol: float = 1e-3, rtol: float = 1e-2) -> None:
-    """Compare the autograd gradient of ``build_loss`` against finite differences.
-
-    ``build_loss(tensor)`` must return a scalar :class:`Tensor` computed from
-    the input tensor; the numerical gradient is computed in float64 to keep
-    the finite-difference error small.
-    """
-    tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True, dtype="float64")
-    loss = build_loss(tensor)
-    loss.backward()
-    analytic = tensor.grad
-
-    def scalar(values: np.ndarray) -> float:
-        return float(build_loss(Tensor(values, dtype="float64")).item())
-
-    numeric = numerical_gradient(scalar, np.asarray(x, dtype=np.float64))
-    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

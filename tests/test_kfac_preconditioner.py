@@ -46,8 +46,12 @@ class TestConstruction:
         model = bert_tiny(vocab_size=30, rng=RNG)
         pre_all = KFAC(model)
         pre_skipped = KFAC(model, skip_modules=model.kfac_excluded_modules())
-        assert len(pre_skipped.layers) == len(pre_all.layers) - 1  # only the MLM head is Linear
+        # The exclusions are the MLM head (Linear) and the token/position
+        # embeddings (Embedding is a registered layer type).
+        assert len(pre_skipped.layers) == len(pre_all.layers) - 3
         assert all("mlm_head" not in name for name in pre_skipped.layers)
+        assert all("embedding" not in name for name in pre_skipped.layers)
+        assert any("embedding" in name for name in pre_all.layers)
 
     def test_model_without_supported_layers_raises(self):
         with pytest.raises(ValueError):

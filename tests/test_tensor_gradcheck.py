@@ -7,7 +7,9 @@ from repro import nn
 from repro.nn import functional as F
 from repro.tensor import Tensor
 
-from .conftest import check_gradient
+# Plain (non-relative) import: tests/ is not a package, so under a rootdir
+# pytest run the module is imported top-level with tests/ on sys.path.
+from gradcheck import check_gradient
 
 
 RNG = np.random.default_rng(7)
@@ -98,7 +100,7 @@ class TestLayerGradients:
         out = (layer(Tensor(x)) ** 2).sum()
         layer.zero_grad()
         out.backward()
-        from .conftest import numerical_gradient
+        from gradcheck import numerical_gradient
 
         numeric = numerical_gradient(loss_from_weight, layer.weight.data.astype(np.float64), eps=1e-3)
         np.testing.assert_allclose(layer.weight.grad, numeric, rtol=5e-2, atol=1e-2)
