@@ -1,0 +1,110 @@
+"""Communication fusion: modeled message counts and iteration time, fused vs unfused.
+
+The asynchronous bucketed collective engine (``repro.distributed.collectives``)
+coalesces K-FAC's per-layer factor allreduces, eigen broadcasts and
+preconditioned-gradient broadcasts into capped fused buffers, paying one
+latency (alpha) term per bucket instead of one per tensor, and overlaps the
+factor allreduce with backward compute.  This benchmark prices both schedules
+with :func:`repro.kfac.model_comm_schedule` on the BERT-Large layer set
+across MEM-OPT / HYBRID-OPT / COMM-OPT and world sizes >= 8, asserts the
+fused schedule issues strictly fewer collective messages and a strictly lower
+modeled iteration time at identical byte volume, and emits the numbers to
+``BENCH_comm_fusion.json`` to seed the performance trajectory.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import format_table, paper_workload_spec
+from repro.kfac import model_comm_schedule
+
+from conftest import print_section
+
+WORLD_SIZES = [8, 16, 64]
+BUCKET_CAP_MB = 25.0
+OUTPUT = Path(__file__).with_name("BENCH_comm_fusion.json")
+
+
+def strategy_fracs(world_size):
+    return {
+        "MEM-OPT": 1.0 / world_size,
+        "HYBRID-OPT (1/2)": 0.5,
+        "COMM-OPT": 1.0,
+    }
+
+
+def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
+    spec = paper_workload_spec("bert_large")
+
+    def sweep():
+        results = []
+        for world_size in WORLD_SIZES:
+            for label, frac in strategy_fracs(world_size).items():
+                unfused = model_comm_schedule(spec, world_size, frac, fused=False, bucket_cap_mb=BUCKET_CAP_MB)
+                fused = model_comm_schedule(spec, world_size, frac, fused=True, bucket_cap_mb=BUCKET_CAP_MB)
+                results.append((label, world_size, frac, unfused, fused))
+        return results
+
+    results = benchmark(sweep)
+
+    rows = []
+    payload = {
+        "workload": spec.name,
+        "bucket_cap_mb": BUCKET_CAP_MB,
+        "results": [],
+    }
+    for label, world_size, frac, unfused, fused in results:
+        message_reduction = 1.0 - fused.messages_per_update / unfused.messages_per_update
+        time_saving_ms = (unfused.iteration_time - fused.iteration_time) * 1000
+        rows.append(
+            [
+                label,
+                world_size,
+                unfused.messages_per_update,
+                fused.messages_per_update,
+                f"{100 * message_reduction:.1f}%",
+                round(unfused.kfac_comm_time * 1000, 3),
+                round(fused.kfac_comm_time * 1000, 3),
+                round(time_saving_ms, 3),
+            ]
+        )
+        payload["results"].append(
+            {
+                "strategy": label,
+                "world_size": world_size,
+                "grad_worker_frac": frac,
+                "unfused_messages": unfused.messages_per_update,
+                "fused_messages": fused.messages_per_update,
+                "comm_bytes": unfused.comm_bytes_per_update,
+                "unfused_kfac_comm_time": unfused.kfac_comm_time,
+                "fused_kfac_comm_time": fused.kfac_comm_time,
+                "unfused_iteration_time": unfused.iteration_time,
+                "fused_iteration_time": fused.iteration_time,
+            }
+        )
+
+        # Acceptance criteria: same bytes, strictly fewer messages, strictly
+        # lower modeled iteration time for every strategy at world size >= 8.
+        assert unfused.comm_bytes_per_update == fused.comm_bytes_per_update
+        assert fused.messages_per_update < unfused.messages_per_update, (label, world_size)
+        assert fused.iteration_time < unfused.iteration_time, (label, world_size)
+
+    print_section("Communication fusion - BERT-Large layer set (modeled, EDR InfiniBand)")
+    print(
+        format_table(
+            [
+                "Strategy",
+                "World",
+                "msgs unfused",
+                "msgs fused",
+                "msg reduction",
+                "KFAC comm unfused (ms)",
+                "KFAC comm fused (ms)",
+                "iter time saved (ms)",
+            ],
+            rows,
+        )
+    )
+
+    OUTPUT.write_text(json.dumps(payload, indent=2))
+    print(f"\nWrote {OUTPUT}")

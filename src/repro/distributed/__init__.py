@@ -1,6 +1,21 @@
-"""Distributed substrate: communicators, data-parallel helpers and the cost model."""
+"""Distributed substrate: communicators, the bucketed collective engine, data-parallel helpers and the cost model."""
 
-from .backend import CommEvent, CommunicationLog, Communicator, SingleProcessCommunicator
+from .backend import (
+    CommEvent,
+    CommunicationLog,
+    Communicator,
+    CompletedWork,
+    SingleProcessCommunicator,
+    WorkHandle,
+)
+from .collectives import (
+    AllreduceSpec,
+    BroadcastSpec,
+    BucketEntry,
+    BucketManager,
+    OverlapScheduler,
+    TensorBucket,
+)
 from .cost_model import (
     A100,
     DGX_A100_FABRIC,
@@ -19,15 +34,24 @@ from .ddp import (
     unflatten_array,
 )
 from .sampler import DistributedSampler, shard_batch
-from .threaded import ThreadedCommunicator, ThreadedWorld, run_spmd
+from .threaded import ThreadedCommunicator, ThreadedWork, ThreadedWorld, run_spmd
 
 __all__ = [
     "Communicator",
     "SingleProcessCommunicator",
     "CommunicationLog",
     "CommEvent",
+    "WorkHandle",
+    "CompletedWork",
+    "BucketEntry",
+    "TensorBucket",
+    "BucketManager",
+    "BroadcastSpec",
+    "AllreduceSpec",
+    "OverlapScheduler",
     "ThreadedWorld",
     "ThreadedCommunicator",
+    "ThreadedWork",
     "run_spmd",
     "DistributedDataParallel",
     "allreduce_gradients",

@@ -13,6 +13,12 @@ the K-FAC preconditioner for its collectives.  Two backends are provided:
 Every collective is also reported to a :class:`CommunicationLog`, which both
 tracks transferred bytes per operation type and accumulates simulated
 communication time per rank using a :class:`PerformanceModel`.
+
+Both backends additionally expose *nonblocking* collectives
+(:meth:`Communicator.iallreduce_average` / :meth:`Communicator.ibroadcast`)
+returning :class:`WorkHandle` objects with ``wait()`` / ``is_done()``; the
+:mod:`repro.distributed.collectives` engine builds comm/compute overlap and
+message fusion on top of them.
 """
 
 from __future__ import annotations
@@ -25,7 +31,42 @@ import numpy as np
 
 from .cost_model import PerformanceModel
 
-__all__ = ["CommEvent", "CommunicationLog", "Communicator", "SingleProcessCommunicator"]
+__all__ = [
+    "CommEvent",
+    "CommunicationLog",
+    "Communicator",
+    "SingleProcessCommunicator",
+    "WorkHandle",
+    "CompletedWork",
+]
+
+
+class WorkHandle:
+    """Handle onto an in-flight nonblocking collective.
+
+    ``wait()`` blocks until the collective completes and returns the result
+    array; ``is_done()`` polls without blocking.  ``wait()`` may be called
+    multiple times (subsequent calls return the cached result).
+    """
+
+    def wait(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def is_done(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CompletedWork(WorkHandle):
+    """An already-finished collective (used by synchronous fallbacks)."""
+
+    def __init__(self, result: np.ndarray) -> None:
+        self._result = result
+
+    def wait(self) -> np.ndarray:
+        return self._result
+
+    def is_done(self) -> bool:
+        return True
 
 
 @dataclass
@@ -37,6 +78,7 @@ class CommEvent:
     group_size: int
     ranks: Tuple[int, ...]
     simulated_time: float
+    fused_count: int = 1  # logical tensors coalesced into this message
 
 
 class CommunicationLog:
@@ -49,10 +91,19 @@ class CommunicationLog:
         self.comm_time = np.zeros(world_size, dtype=np.float64)
         self.compute_time = np.zeros(world_size, dtype=np.float64)
         self.bytes_by_op: Dict[str, int] = {}
+        self.messages_by_op: Dict[str, int] = {}
+        self.tensors_by_op: Dict[str, int] = {}
         self._lock = threading.Lock()
 
-    def record_collective(self, op: str, nbytes: int, ranks: Sequence[int]) -> float:
-        """Record a collective among ``ranks``; returns the simulated time charged."""
+    def record_collective(self, op: str, nbytes: int, ranks: Sequence[int], fused_count: int = 1) -> float:
+        """Record a collective among ``ranks``; returns the simulated time charged.
+
+        ``fused_count`` is the number of logical tensors coalesced into this
+        one message: a fused bucket of 10 layer factors is *one* message (one
+        latency term in the cost model) carrying 10 tensors, whereas the
+        unfused path records 10 messages.  Byte totals are identical either
+        way; only the message count (and hence the simulated latency) differs.
+        """
         ranks = tuple(ranks)
         duration = 0.0
         if self.cost_model is not None:
@@ -61,8 +112,19 @@ class CommunicationLog:
             elif op == "broadcast":
                 duration = self.cost_model.broadcast_time(nbytes, len(ranks))
         with self._lock:
-            self.events.append(CommEvent(op=op, nbytes=nbytes, group_size=len(ranks), ranks=ranks, simulated_time=duration))
+            self.events.append(
+                CommEvent(
+                    op=op,
+                    nbytes=nbytes,
+                    group_size=len(ranks),
+                    ranks=ranks,
+                    simulated_time=duration,
+                    fused_count=int(fused_count),
+                )
+            )
             self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
+            self.messages_by_op[op] = self.messages_by_op.get(op, 0) + 1
+            self.tensors_by_op[op] = self.tensors_by_op.get(op, 0) + int(fused_count)
             for rank in ranks:
                 self.comm_time[rank] += duration
         return duration
@@ -75,6 +137,14 @@ class CommunicationLog:
     def total_bytes(self) -> int:
         return sum(self.bytes_by_op.values())
 
+    def total_messages(self) -> int:
+        """Number of collective messages issued (fused buckets count once)."""
+        return sum(self.messages_by_op.values())
+
+    def total_tensors(self) -> int:
+        """Number of logical tensors moved (each fused bucket contributes its fused_count)."""
+        return sum(self.tensors_by_op.values())
+
     def iteration_time(self) -> float:
         """Simulated makespan: the busiest rank's compute + communication time."""
         return float(np.max(self.comm_time + self.compute_time)) if self.world_size else 0.0
@@ -83,6 +153,8 @@ class CommunicationLog:
         with self._lock:
             self.events.clear()
             self.bytes_by_op.clear()
+            self.messages_by_op.clear()
+            self.tensors_by_op.clear()
             self.comm_time[:] = 0.0
             self.compute_time[:] = 0.0
 
@@ -106,6 +178,29 @@ class Communicator:
 
     def barrier(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------- nonblocking collectives
+    # Backends with true asynchrony override these; the defaults execute the
+    # blocking collective eagerly and hand back an already-completed handle,
+    # so engine code written against handles works on any Communicator.
+    # Caveat: the fallbacks cannot thread fused_count into a backend's own
+    # record_collective call, so a sync-only backend that logs will count a
+    # fused bucket as one tensor; override these to report fusion exactly.
+    def iallreduce_average(
+        self, array: np.ndarray, group: Optional[Sequence[int]] = None, fused_count: int = 1
+    ) -> WorkHandle:
+        """Nonblocking allreduce-average; returns a :class:`WorkHandle`."""
+        return CompletedWork(self.allreduce_average(array, group=group))
+
+    def ibroadcast(
+        self,
+        array: Optional[np.ndarray],
+        src: int,
+        group: Optional[Sequence[int]] = None,
+        fused_count: int = 1,
+    ) -> WorkHandle:
+        """Nonblocking broadcast; returns a :class:`WorkHandle`."""
+        return CompletedWork(self.broadcast(array, src=src, group=group))
 
 
 class SingleProcessCommunicator(Communicator):

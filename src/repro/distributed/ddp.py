@@ -1,9 +1,14 @@
 """Data-parallel training helpers (the DistributedDataParallel analogue).
 
-Gradients are averaged across ranks with a single flattened allreduce after
-the backward pass, mirroring the bucketed allreduce of
-``torch.nn.parallel.DistributedDataParallel`` that the paper uses for the
-first-order (data-parallel) part of training (Figure 3, blue boxes).
+Gradients are averaged across ranks after the backward pass, mirroring the
+bucketed allreduce of ``torch.nn.parallel.DistributedDataParallel`` that the
+paper uses for the first-order (data-parallel) part of training (Figure 3,
+blue boxes).  By default all gradients travel in one flattened allreduce;
+passing ``bucket_cap_mb`` routes them through the asynchronous bucketed
+engine (:mod:`repro.distributed.collectives`): buckets are filled in reverse
+parameter order (the order gradients become ready during backward, as in
+DDP) and all posted nonblocking before any is awaited, so successive buckets
+pipeline.  Both paths average elementwise and are bitwise identical.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import numpy as np
 
 from ..nn.module import Module, Parameter
 from .backend import Communicator
+from .collectives import AllreduceSpec, OverlapScheduler
 
 __all__ = ["flatten_arrays", "unflatten_array", "allreduce_gradients", "broadcast_parameters", "DistributedDataParallel"]
 
@@ -38,17 +44,43 @@ def unflatten_array(flat: np.ndarray, shapes: Sequence[tuple]) -> List[np.ndarra
     return out
 
 
-def allreduce_gradients(model: Module, comm: Communicator) -> None:
-    """Average all parameter gradients across the world (one flattened allreduce)."""
+def allreduce_gradients(model: Module, comm: Communicator, bucket_cap_mb: Optional[float] = None) -> None:
+    """Average all parameter gradients across the world.
+
+    With ``bucket_cap_mb=None`` (default) every gradient travels in a single
+    flattened blocking allreduce.  With a cap, gradients are coalesced into
+    capped buckets in reverse parameter order and posted through the
+    nonblocking ``iallreduce_average`` primitive back-to-back, so buckets
+    overlap each other in flight; the numerical result is identical.
+    """
     if comm.world_size == 1:
         return
     params = [p for p in model.parameters() if p.grad is not None]
     if not params:
         return
-    flat = flatten_arrays([p.grad for p in params])
-    reduced = comm.allreduce_average(flat)
-    for param, grad in zip(params, unflatten_array(reduced, [p.grad.shape for p in params])):
-        param.grad = grad.astype(np.float32)
+    if bucket_cap_mb is None:
+        flat = flatten_arrays([p.grad for p in params])
+        reduced = comm.allreduce_average(flat)
+        for param, grad in zip(params, unflatten_array(reduced, [p.grad.shape for p in params])):
+            param.grad = grad.astype(np.float32)
+        return
+    # Reverse order: the last layers' gradients are ready first during
+    # backward, so their buckets would be posted earliest in a hooked
+    # implementation — keep the same deterministic schedule here.
+    specs = []
+    for index, param in list(enumerate(params))[::-1]:
+
+        def install(reduced: np.ndarray, param=param) -> None:
+            param.grad = reduced.astype(np.float32).reshape(param.grad.shape)
+
+        specs.append(
+            AllreduceSpec(
+                key=str(index),
+                payload=np.asarray(param.grad, dtype=np.float32),
+                on_complete=install,
+            )
+        )
+    OverlapScheduler(comm, bucket_cap_mb).run_allreduces(specs)
 
 
 def broadcast_parameters(model: Module, comm: Communicator, src: int = 0) -> None:
@@ -70,9 +102,16 @@ class DistributedDataParallel:
     before the preconditioner / optimizer step.
     """
 
-    def __init__(self, model: Module, comm: Communicator, broadcast_initial: bool = True) -> None:
+    def __init__(
+        self,
+        model: Module,
+        comm: Communicator,
+        broadcast_initial: bool = True,
+        bucket_cap_mb: Optional[float] = None,
+    ) -> None:
         self.module = model
         self.comm = comm
+        self.bucket_cap_mb = bucket_cap_mb
         if broadcast_initial:
             broadcast_parameters(model, comm, src=0)
 
@@ -91,5 +130,5 @@ class DistributedDataParallel:
         return self
 
     def sync_gradients(self) -> None:
-        """Allreduce-average gradients across all ranks."""
-        allreduce_gradients(self.module, self.comm)
+        """Allreduce-average gradients across all ranks (bucketed when configured)."""
+        allreduce_gradients(self.module, self.comm, bucket_cap_mb=self.bucket_cap_mb)

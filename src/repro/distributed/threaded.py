@@ -17,10 +17,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .backend import CommunicationLog, Communicator
+from .backend import CommunicationLog, Communicator, CompletedWork, WorkHandle
 from .cost_model import PerformanceModel
 
-__all__ = ["ThreadedWorld", "ThreadedCommunicator", "run_spmd"]
+__all__ = ["ThreadedWorld", "ThreadedCommunicator", "ThreadedWork", "run_spmd"]
 
 
 class _CollectiveSlot:
@@ -32,6 +32,33 @@ class _CollectiveSlot:
         self.result: Optional[np.ndarray] = None
         self.ready = threading.Event()
         self.consumed = 0
+
+
+class ThreadedWork(WorkHandle):
+    """In-flight collective on a :class:`ThreadedWorld`.
+
+    The issuing rank's contribution is already posted to the rendezvous slot,
+    so other ranks can make progress while this rank computes; ``wait()``
+    blocks only until the remaining ranks arrive.
+    """
+
+    def __init__(self, world: "ThreadedWorld", op: str, key: Tuple, rank: int, slot: _CollectiveSlot) -> None:
+        self._world = world
+        self._op = op
+        self._key = key
+        self._rank = rank
+        self._slot = slot
+        self._result: Optional[np.ndarray] = None
+        self._finished = False
+
+    def is_done(self) -> bool:
+        return self._finished or self._slot.ready.is_set()
+
+    def wait(self) -> np.ndarray:
+        if not self._finished:
+            self._result = self._world.finish_collective(self._op, self._key, self._rank, self._slot)
+            self._finished = True
+        return self._result
 
 
 class ThreadedWorld:
@@ -67,7 +94,7 @@ class ThreadedWorld:
             if slot.consumed >= slot.group_size:
                 self._slots.pop(key, None)
 
-    def run_collective(
+    def post_collective(
         self,
         op: str,
         key: Tuple,
@@ -76,8 +103,14 @@ class ThreadedWorld:
         value: Optional[np.ndarray],
         reducer: Optional[Callable[[List[np.ndarray]], np.ndarray]],
         src: Optional[int] = None,
-    ) -> np.ndarray:
-        """Generic rendezvous: post ``value``, wait for the group, return the result."""
+        fused_count: int = 1,
+    ) -> _CollectiveSlot:
+        """Post this rank's contribution without blocking; returns the slot.
+
+        The rank whose post completes the group computes the result, records
+        the collective in the log (once, tagged with ``fused_count``) and
+        releases every waiter.
+        """
         slot = self._slot(key, len(group))
         is_producer_complete = False
         with self._lock:
@@ -97,12 +130,31 @@ class ThreadedWorld:
                 self_log_ranks = group
                 slot.ready.set()
                 # Record once per collective (by the completing rank).
-                self.log.record_collective(op, nbytes, self_log_ranks)
+                self.log.record_collective(op, nbytes, self_log_ranks, fused_count=fused_count)
+        return slot
+
+    def finish_collective(self, op: str, key: Tuple, rank: int, slot: _CollectiveSlot) -> np.ndarray:
+        """Block until the posted collective completes and return a private copy."""
         if not slot.ready.wait(self.timeout):
             raise TimeoutError(f"collective {op} {key} timed out on rank {rank}")
         result = slot.result
         self._release(key, slot)
         return np.array(result, copy=True)
+
+    def run_collective(
+        self,
+        op: str,
+        key: Tuple,
+        rank: int,
+        group: Tuple[int, ...],
+        value: Optional[np.ndarray],
+        reducer: Optional[Callable[[List[np.ndarray]], np.ndarray]],
+        src: Optional[int] = None,
+        fused_count: int = 1,
+    ) -> np.ndarray:
+        """Generic rendezvous: post ``value``, wait for the group, return the result."""
+        slot = self.post_collective(op, key, rank, group, value, reducer, src=src, fused_count=fused_count)
+        return self.finish_collective(op, key, rank, slot)
 
     def barrier(self) -> None:
         self._barrier.wait(self.timeout)
@@ -142,6 +194,12 @@ class ThreadedCommunicator(Communicator):
             raise ValueError(f"rank {self._rank} is not part of group {normalized}")
         return normalized
 
+    @staticmethod
+    def _mean_reducer(values: List[np.ndarray]) -> np.ndarray:
+        # Elementwise mean over the rank axis: bitwise-identical whether the
+        # tensors are reduced individually or coalesced into a fused buffer.
+        return np.mean(np.stack(values, axis=0), axis=0).astype(values[0].dtype)
+
     def allreduce_average(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
         group_t = self._normalize_group(group)
         if len(group_t) == 1:
@@ -153,9 +211,28 @@ class ThreadedCommunicator(Communicator):
             self._rank,
             group_t,
             np.asarray(array),
-            reducer=lambda values: np.mean(np.stack(values, axis=0), axis=0).astype(values[0].dtype),
+            reducer=self._mean_reducer,
         )
         return result
+
+    def iallreduce_average(
+        self, array: np.ndarray, group: Optional[Sequence[int]] = None, fused_count: int = 1
+    ) -> WorkHandle:
+        """Post an allreduce-average without waiting for the other ranks."""
+        group_t = self._normalize_group(group)
+        if len(group_t) == 1:
+            return CompletedWork(array)
+        key = ("allreduce",) + self._next_key(group_t)
+        slot = self._world.post_collective(
+            "allreduce",
+            key,
+            self._rank,
+            group_t,
+            np.asarray(array),
+            reducer=self._mean_reducer,
+            fused_count=fused_count,
+        )
+        return ThreadedWork(self._world, "allreduce", key, self._rank, slot)
 
     def allreduce_sum(self, array: np.ndarray, group: Optional[Sequence[int]] = None) -> np.ndarray:
         group_t = self._normalize_group(group)
@@ -180,6 +257,26 @@ class ThreadedCommunicator(Communicator):
         key = ("broadcast",) + self._next_key(group_t)
         value = np.asarray(array) if (array is not None and self._rank == src) else None
         return self._world.run_collective("broadcast", key, self._rank, group_t, value, reducer=None, src=src)
+
+    def ibroadcast(
+        self,
+        array: Optional[np.ndarray],
+        src: int,
+        group: Optional[Sequence[int]] = None,
+        fused_count: int = 1,
+    ) -> WorkHandle:
+        """Post a broadcast without waiting; non-source ranks post an empty contribution."""
+        group_t = self._normalize_group(group)
+        if len(group_t) == 1:
+            if array is None:
+                raise ValueError("broadcast source value must be provided on the source rank")
+            return CompletedWork(array)
+        key = ("broadcast",) + self._next_key(group_t)
+        value = np.asarray(array) if (array is not None and self._rank == src) else None
+        slot = self._world.post_collective(
+            "broadcast", key, self._rank, group_t, value, reducer=None, src=src, fused_count=fused_count
+        )
+        return ThreadedWork(self._world, "broadcast", key, self._rank, slot)
 
     def barrier(self) -> None:
         self._world.barrier()

@@ -11,6 +11,7 @@ from .configs import (
 )
 from .harness import (
     ConvergenceResult,
+    measured_memory_report,
     run_convergence_comparison,
     scaling_projection,
     sweep_grad_worker_frac,
@@ -40,6 +41,7 @@ __all__ = [
     "run_convergence_comparison",
     "sweep_grad_worker_frac",
     "scaling_projection",
+    "measured_memory_report",
     "collect_layer_shapes",
     "paper_layer_shapes",
     "paper_workload_spec",

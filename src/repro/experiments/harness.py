@@ -13,13 +13,20 @@ import numpy as np
 
 import dataclasses
 
+from ..distributed import run_spmd
 from ..kfac import KFAC, KFACConfig, IterationTimeModel, KFACWorkloadSpec
 from ..memory import KFACMemoryModel
 from ..training import Trainer, TrainingCurve
 from .configs import SmallWorkloadConfig
 from .workloads import TrainableWorkload, build_workload, make_optimizer
 
-__all__ = ["ConvergenceResult", "run_convergence_comparison", "sweep_grad_worker_frac", "scaling_projection"]
+__all__ = [
+    "ConvergenceResult",
+    "run_convergence_comparison",
+    "sweep_grad_worker_frac",
+    "scaling_projection",
+    "measured_memory_report",
+]
 
 
 @dataclass
@@ -167,6 +174,81 @@ def sweep_grad_worker_frac(
             "baseline_iteration_time": time_model.baseline_iteration_time(spec, world_size),
         }
     return results
+
+
+def measured_memory_report(
+    name: str,
+    world_size: int = 2,
+    grad_worker_frac: float = 1.0,
+    steps: int = 2,
+    seed: int = 0,
+    workload_kwargs: Optional[dict] = None,
+    kfac_overrides: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Live per-rank K-FAC memory from a real run on the threaded backend.
+
+    Trains ``steps`` optimization steps of a real (small) workload under the
+    requested distribution strategy with factor and eigen updates every
+    iteration, then reads :meth:`KFAC.memory_usage` on every rank.  The
+    analytic per-rank prediction for the *same registered layers* (factors on
+    every rank; eigen state on each layer's gradient workers) is returned
+    alongside, so paper-style memory tables (Tables 4/5) can print a
+    live-measured column next to the modeled one and the two can be checked
+    against each other byte-exactly.
+    """
+
+    def program(comm):
+        workload = build_workload(name, seed=seed, **(workload_kwargs or {}))
+        config = workload.config
+        optimizer = make_optimizer(
+            config.baseline_optimizer,
+            workload.model.parameters(),
+            lr=config.kfac_lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        overrides = {"factor_update_freq": 1, "inv_update_freq": 1, **(kfac_overrides or {})}
+        kfac_config = config.kfac_config(lr=config.kfac_lr, grad_worker_frac=grad_worker_frac).replace(
+            **overrides
+        )
+        preconditioner = KFAC.from_config(
+            workload.model, kfac_config, comm=comm, skip_modules=workload.kfac_skip_modules
+        )
+        trainer = Trainer(
+            workload.model, optimizer, workload.forward_loss, preconditioner=preconditioner, comm=comm
+        )
+        done = 0
+        while done < steps:
+            for batch in workload.train_loader:
+                trainer.train_step(batch)
+                done += 1
+                if done >= steps:
+                    break
+        measured = preconditioner.memory_usage()
+        include_outer = preconditioner.compute_eigen_outer
+        predicted_factors = sum(layer.expected_factor_bytes() for layer in preconditioner.layers.values())
+        predicted_eigen = sum(
+            layer.expected_eigen_bytes(include_outer=include_outer)
+            for layer_name, layer in preconditioner.layers.items()
+            if preconditioner.groups[layer_name].is_grad_worker(comm.rank)
+        )
+        predicted = {
+            "factors": predicted_factors,
+            "eigen": predicted_eigen,
+            "total": predicted_factors + predicted_eigen,
+        }
+        return {"measured": measured, "predicted": predicted}
+
+    per_rank = run_spmd(world_size, program)
+    totals = [entry["measured"]["total"] for entry in per_rank]
+    return {
+        "workload": name,
+        "world_size": world_size,
+        "grad_worker_frac": grad_worker_frac,
+        "per_rank": per_rank,
+        "measured_total_max": max(totals),
+        "measured_total_mean": float(np.mean(totals)),
+    }
 
 
 def scaling_projection(

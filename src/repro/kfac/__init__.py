@@ -1,6 +1,12 @@
 """KAISA: the adaptable distributed K-FAC preconditioner (the paper's core contribution)."""
 
-from .analysis import IterationBreakdown, IterationTimeModel, KFACWorkloadSpec
+from .analysis import (
+    CommSchedule,
+    IterationBreakdown,
+    IterationTimeModel,
+    KFACWorkloadSpec,
+    model_comm_schedule,
+)
 from .assignment import AssignmentResult, greedy_lpt_assignment, makespan, round_robin_assignment
 from .base import Preconditioner
 from .config import KFACConfig
@@ -31,6 +37,8 @@ from .strategy import (
     LayerWorkGroups,
     MemOptStrategy,
     broadcast_eigen_packed,
+    pack_eigen,
+    unpack_eigen,
 )
 from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
@@ -43,6 +51,8 @@ __all__ = [
     "HybridOptStrategy",
     "MemOptStrategy",
     "broadcast_eigen_packed",
+    "pack_eigen",
+    "unpack_eigen",
     "LayerShapeInfo",
     "LayerWorkGroups",
     "KFACLayer",
@@ -69,4 +79,6 @@ __all__ = [
     "IterationTimeModel",
     "IterationBreakdown",
     "KFACWorkloadSpec",
+    "CommSchedule",
+    "model_comm_schedule",
 ]

@@ -13,14 +13,21 @@ amortised over their update intervals exactly as the paper's averages are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..distributed.collectives import BucketManager
 from ..distributed.cost_model import PerformanceModel
 from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
 
-__all__ = ["KFACWorkloadSpec", "IterationBreakdown", "IterationTimeModel"]
+__all__ = [
+    "KFACWorkloadSpec",
+    "IterationBreakdown",
+    "IterationTimeModel",
+    "CommSchedule",
+    "model_comm_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -235,3 +242,214 @@ class IterationTimeModel:
         baseline_total = baseline_iterations * self.baseline_iteration_time(spec, world_size)
         kaisa_total = kaisa_iterations * self.kaisa_iteration_time(spec, world_size, grad_worker_frac)
         return baseline_total / kaisa_total
+
+
+# ---------------------------------------------------------------------------
+# Fused vs unfused communication schedules (the overlap engine, modeled)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """Modeled collective schedule of one K-FAC configuration.
+
+    ``messages_per_update`` counts the collective messages issued for one
+    full K-FAC update cycle — one factor allreduce round + one eigen
+    broadcast round + one preconditioned-gradient broadcast round — summed
+    over all ranks' distinct collectives (a fused bucket counts once).
+    ``kfac_comm_time`` is the busiest rank's amortised per-iteration K-FAC
+    communication time; ``iteration_time`` adds the compute stages and the
+    data-parallel gradient allreduce so fused/unfused schedules can be
+    compared end to end.
+    """
+
+    strategy: str
+    world_size: int
+    fused: bool
+    messages_per_update: int
+    comm_bytes_per_update: int
+    kfac_comm_time: float
+    iteration_time: float
+
+
+def model_comm_schedule(
+    spec: KFACWorkloadSpec,
+    world_size: int,
+    grad_worker_frac: float,
+    fused: bool = False,
+    bucket_cap_mb: float = 25.0,
+    perf: Optional[PerformanceModel] = None,
+    overlap_window_s: float = 0.0,
+) -> CommSchedule:
+    """Model the collective schedule the real engine would issue.
+
+    The unfused schedule mirrors the synchronous path: one blocking message
+    per factor matrix, per packed eigen decomposition (plus the cached outer
+    product under HYBRID/MEM-OPT) and per preconditioned-gradient broadcast.
+    The fused schedule coalesces tensors sharing a communication channel —
+    the world for factor allreduces, a ``(src, group)`` pair for broadcasts —
+    into :class:`~repro.distributed.collectives.BucketManager` buckets capped
+    at ``bucket_cap_mb``, paying one latency term per bucket.  Bytes moved
+    are identical in both schedules; only message counts (alpha terms)
+    differ.
+
+    ``overlap_window_s`` optionally credits the fused factor allreduce with
+    compute it could hide behind (:meth:`PerformanceModel.exposed_comm_time`).
+    The shipped engine posts its buckets inside ``KFAC.step()``, *after* the
+    backward pass, so the default of ``0.0`` models what it actually
+    delivers; a positive window prices the planned backward-hook posting
+    (see ROADMAP) where factor buckets fly while backward still computes.
+    """
+    perf = perf if perf is not None else PerformanceModel()
+    strategy = DistributionStrategy(world_size, grad_worker_frac)
+    groups = strategy.assign(list(spec.layers))
+    comm_opt = strategy.num_grad_workers >= world_size
+    buckets = BucketManager(bucket_cap_mb)
+    f_dtype = np.dtype(np.float32 if spec.factor_dtype_bytes == 4 else np.float16)
+    e_dtype = np.dtype(np.float32 if spec.eigen_dtype_bytes == 4 else np.float16)
+    g_dtype = np.dtype(np.float32 if spec.grad_dtype_bytes == 4 else np.float16)
+    f_freq = max(spec.factor_update_freq, 1)
+    k_freq = max(spec.inv_update_freq, 1)
+
+    messages = 0
+    comm_bytes = 0
+    # Per-rank amortised communication time for the three K-FAC rounds.
+    comm_time = np.zeros(world_size)
+
+    # --- factor allreduce (world-wide; every rank participates) ------------
+    factor_specs = []
+    for layer in spec.layers:
+        factor_specs.append((f"{layer.name}/a", (layer.a_dim, layer.a_dim), f_dtype))
+        factor_specs.append((f"{layer.name}/g", (layer.g_dim, layer.g_dim), f_dtype))
+    factor_time = 0.0
+    if world_size > 1:
+        if fused:
+            for bucket in buckets.build(factor_specs):
+                messages += 1
+                comm_bytes += bucket.nbytes
+                factor_time += perf.fused_allreduce_time(bucket.nbytes, world_size, 1)
+        else:
+            for _, shape, dtype in factor_specs:
+                nbytes = int(np.prod(shape)) * dtype.itemsize
+                messages += 1
+                comm_bytes += nbytes
+                factor_time += perf.allreduce_time(nbytes, world_size)
+        if fused and overlap_window_s > 0.0:
+            factor_time = perf.exposed_comm_time(factor_time, overlap_window_s)
+        comm_time += factor_time / f_freq
+
+    # --- eigen broadcast ----------------------------------------------------
+    def packed_eigen_elems(n: int) -> int:
+        return n + n * n
+
+    eigen_channels: Dict[Tuple, List[Tuple[str, Tuple[int, ...], np.dtype]]] = {}
+    eigen_order: List[Tuple] = []
+
+    def add_to_channel(channel: Tuple, spec_entry: Tuple[str, Tuple[int, ...], np.dtype]) -> None:
+        if channel not in eigen_channels:
+            eigen_channels[channel] = []
+            eigen_order.append(channel)
+        eigen_channels[channel].append(spec_entry)
+
+    if world_size > 1:
+        for layer in spec.layers:
+            group = groups[layer.name]
+            if comm_opt:
+                world = tuple(range(world_size))
+                a_entry = (f"{layer.name}/ea", (packed_eigen_elems(layer.a_dim),), e_dtype)
+                g_entry = (f"{layer.name}/eg", (packed_eigen_elems(layer.g_dim),), e_dtype)
+                if fused:
+                    add_to_channel((group.eigen_worker_a, world), a_entry)
+                    add_to_channel((group.eigen_worker_g, world), g_entry)
+                else:
+                    for entry in (a_entry, g_entry):
+                        nbytes = int(np.prod(entry[1])) * e_dtype.itemsize
+                        messages += 1
+                        comm_bytes += nbytes
+                        comm_time += perf.broadcast_time(nbytes, world_size) / k_freq
+            else:
+                members = group.grad_workers
+                if len(members) <= 1:
+                    continue
+                entries = [
+                    (f"{layer.name}/ea", (packed_eigen_elems(layer.a_dim),), e_dtype),
+                    (f"{layer.name}/eg", (packed_eigen_elems(layer.g_dim),), e_dtype),
+                    (f"{layer.name}/outer", (layer.g_dim, layer.a_dim), e_dtype),
+                ]
+                if fused:
+                    for entry in entries:
+                        add_to_channel((group.eigen_worker, members), entry)
+                else:
+                    for entry in entries:
+                        nbytes = int(np.prod(entry[1])) * e_dtype.itemsize
+                        messages += 1
+                        comm_bytes += nbytes
+                        duration = perf.broadcast_time(nbytes, len(members)) / k_freq
+                        for rank in members:
+                            comm_time[rank] += duration
+        if fused:
+            for channel in eigen_order:
+                _, members = channel
+                for bucket in buckets.build(eigen_channels[channel]):
+                    messages += 1
+                    comm_bytes += bucket.nbytes
+                    duration = perf.fused_broadcast_time(bucket.nbytes, len(members), 1) / k_freq
+                    for rank in members:
+                        comm_time[rank] += duration
+
+    # --- preconditioned-gradient broadcast (every iteration) ----------------
+    grad_channels: Dict[Tuple, List[Tuple[str, Tuple[int, ...], np.dtype]]] = {}
+    grad_order: List[Tuple] = []
+    if world_size > 1 and not comm_opt:
+        for layer in spec.layers:
+            group = groups[layer.name]
+            for worker in group.grad_workers:
+                receivers = group.receivers_of(worker)
+                if not receivers:
+                    continue
+                members = (worker,) + receivers
+                entry = (f"{layer.name}/pg", (layer.grad_numel,), g_dtype)
+                if fused:
+                    channel = (worker, members)
+                    if channel not in grad_channels:
+                        grad_channels[channel] = []
+                        grad_order.append(channel)
+                    grad_channels[channel].append(entry)
+                else:
+                    nbytes = layer.grad_numel * g_dtype.itemsize
+                    messages += 1
+                    comm_bytes += nbytes
+                    duration = perf.broadcast_time(nbytes, len(members))
+                    for rank in members:
+                        comm_time[rank] += duration
+        for channel in grad_order:
+            _, members = channel
+            for bucket in buckets.build(grad_channels[channel]):
+                messages += 1
+                comm_bytes += bucket.nbytes
+                duration = perf.fused_broadcast_time(bucket.nbytes, len(members), 1)
+                for rank in members:
+                    comm_time[rank] += duration
+
+    kfac_comm_time = float(np.max(comm_time)) if world_size else 0.0
+
+    # --- end-to-end iteration time: identical compute, differing comm ------
+    model = IterationTimeModel(perf)
+    breakdown = model.kfac_breakdown(spec, world_size, grad_worker_frac)
+    compute_part = (
+        breakdown.baseline_compute
+        + breakdown.gradient_allreduce
+        + breakdown.factor_compute
+        + breakdown.eigen_decomposition
+        + breakdown.precondition
+        + breakdown.scale_and_update
+    )
+    return CommSchedule(
+        strategy=strategy.name,
+        world_size=world_size,
+        fused=bool(fused),
+        messages_per_update=int(messages),
+        comm_bytes_per_update=int(comm_bytes),
+        kfac_comm_time=kfac_comm_time,
+        iteration_time=float(compute_part + kfac_comm_time),
+    )

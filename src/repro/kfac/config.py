@@ -21,12 +21,23 @@ serializable state.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Dict
 
 from ..tensor import PrecisionPolicy
 
-__all__ = ["KFACConfig"]
+__all__ = ["KFACConfig", "default_comm_overlap"]
+
+
+def default_comm_overlap() -> bool:
+    """Default for :attr:`KFACConfig.comm_overlap`, overridable via environment.
+
+    Setting ``REPRO_COMM_OVERLAP=1`` (or ``true``/``yes``/``on``) flips the
+    default to the asynchronous bucketed engine — used by CI to run the whole
+    test suite through the overlap path without code changes.
+    """
+    return os.environ.get("REPRO_COMM_OVERLAP", "").strip().lower() in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -50,6 +61,14 @@ class KFACConfig:
     assignment_balance: str = "compute"
     compute_eigen_outer: bool = True
     triangular_comm: bool = False
+    #: Route factor allreduces, eigen broadcasts and gradient broadcasts
+    #: through the asynchronous bucketed collective engine
+    #: (:mod:`repro.distributed.collectives`).  Numerics are bitwise
+    #: identical to the synchronous path; only the communication schedule
+    #: changes.  Default honours the ``REPRO_COMM_OVERLAP`` env toggle.
+    comm_overlap: bool = field(default_factory=default_comm_overlap)
+    #: Fused-buffer size cap (MB) used by the engine's bucket manager.
+    bucket_cap_mb: float = 25.0
 
     def __post_init__(self) -> None:
         # Canonicalize numeric types first so consumers always see float/int.
@@ -63,6 +82,8 @@ class KFACConfig:
             ("grad_worker_frac", float),
             ("compute_eigen_outer", bool),
             ("triangular_comm", bool),
+            ("comm_overlap", bool),
+            ("bucket_cap_mb", float),
         ):
             object.__setattr__(self, name, cast(getattr(self, name)))
         if self.factor_update_freq < 1 or self.inv_update_freq < 1:
@@ -82,6 +103,8 @@ class KFACConfig:
             raise ValueError("grad_worker_frac must be in (0, 1]")
         if self.assignment_balance not in ("compute", "memory"):
             raise ValueError("assignment_balance must be 'compute' or 'memory'")
+        if self.bucket_cap_mb <= 0.0:
+            raise ValueError("bucket_cap_mb must be positive")
         PrecisionPolicy.from_name(self.precision)  # raises on unknown names
 
     # ------------------------------------------------------------- presets

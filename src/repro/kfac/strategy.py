@@ -30,10 +30,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..distributed.collectives import BroadcastSpec
 from .assignment import greedy_lpt_assignment
 from .kmath import EigenDecomposition, eigenvalue_outer_product, symmetric_eigen
 
@@ -50,7 +51,25 @@ __all__ = [
     "HybridOptStrategy",
     "MemOptStrategy",
     "broadcast_eigen_packed",
+    "pack_eigen",
+    "unpack_eigen",
 ]
+
+
+def pack_eigen(eigen: EigenDecomposition, dtype=np.float32) -> np.ndarray:
+    """Pack an eigen decomposition into one flat ``n + n*n`` buffer in ``dtype``."""
+    return np.concatenate(
+        [eigen.eigenvalues.astype(dtype).reshape(-1), eigen.eigenvectors.astype(dtype).reshape(-1)]
+    )
+
+
+def unpack_eigen(packed: np.ndarray, n: int, dtype=np.float32) -> EigenDecomposition:
+    """Inverse of :func:`pack_eigen` for a known dimension ``n``."""
+    if packed.size != n + n * n:
+        raise ValueError(f"packed eigen buffer has {packed.size} elements, expected {n + n * n}")
+    eigenvalues = packed[:n].astype(dtype)
+    eigenvectors = packed[n:].reshape(n, n).astype(dtype)
+    return EigenDecomposition(eigenvectors=eigenvectors, eigenvalues=eigenvalues)
 
 
 @dataclass(frozen=True)
@@ -132,18 +151,51 @@ def broadcast_eigen_packed(
     if comm.rank == src:
         if eigen is None:
             raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
-        packed = np.concatenate(
-            [eigen.eigenvalues.astype(dtype).reshape(-1), eigen.eigenvectors.astype(dtype).reshape(-1)]
-        )
+        packed = pack_eigen(eigen, dtype)
     else:
         packed = None
     received = comm.broadcast(packed, src=src, group=group)
     n = (math.isqrt(4 * received.size + 1) - 1) // 2
     if n * (n + 1) != received.size:
         raise RuntimeError(f"packed eigen buffer of length {received.size} is not n + n*n for any n")
-    eigenvalues = received[:n].astype(dtype)
-    eigenvectors = received[n:].reshape(n, n).astype(dtype)
-    return EigenDecomposition(eigenvectors=eigenvectors, eigenvalues=eigenvalues)
+    return unpack_eigen(received, n, dtype)
+
+
+def _packed_eigen_spec(
+    layer: "KFACLayer",
+    which: str,
+    src: int,
+    group: Optional[Tuple[int, ...]],
+    dtype: np.dtype,
+    is_src: bool,
+) -> BroadcastSpec:
+    """Build the fused-engine spec moving one packed eigen decomposition.
+
+    Shared by every strategy: packs on the source exactly like
+    :func:`broadcast_eigen_packed` and installs the unpacked decomposition
+    into ``layer.eigen_a`` / ``layer.eigen_g`` on completion.
+    """
+    n = layer.a_dim if which == "a" else layer.g_dim
+    eigen = layer.eigen_a if which == "a" else layer.eigen_g
+    if is_src and eigen is None:
+        raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
+
+    def install(flat: np.ndarray) -> None:
+        decomposition = unpack_eigen(flat, n, dtype)
+        if which == "a":
+            layer.eigen_a = decomposition
+        else:
+            layer.eigen_g = decomposition
+
+    return BroadcastSpec(
+        key=f"{layer.name}/eigen_{which}",
+        src=src,
+        group=group,
+        shape=(n + n * n,),
+        dtype=dtype,
+        payload=pack_eigen(eigen, dtype) if is_src else None,
+        on_complete=install,
+    )
 
 
 def _compute_single_eigen(layer: "KFACLayer", which: str, precision) -> EigenDecomposition:
@@ -252,6 +304,47 @@ class DistributionStrategy:
         """Send one layer's preconditioned gradient from its worker(s) to this rank."""
         raise NotImplementedError
 
+    # ------------------------------------------- fused (overlap-engine) plan
+    # When `KFACConfig.comm_overlap` is on, the preconditioner collects one
+    # deterministic schedule of BroadcastSpecs across all layers and hands it
+    # to the OverlapScheduler, which fuses specs sharing a (src, group)
+    # channel into capped buckets and pipelines them.  The specs move exactly
+    # the bytes the synchronous methods move (same packing, same dtypes), so
+    # both paths are bitwise identical.  The base-class defaults execute the
+    # synchronous methods and return no specs, so a custom strategy that only
+    # implements the synchronous interface keeps working (unfused) when the
+    # engine is enabled — overriding these is the opt-in to fusion.
+    def eigen_broadcast_specs(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> List[BroadcastSpec]:
+        """Fused-schedule equivalent of :meth:`broadcast_eigen`.
+
+        Also applies this rank's local memory plan (e.g. dropping eigen state
+        on gradient receivers), exactly as the synchronous method does.
+        Default: run :meth:`broadcast_eigen` synchronously, contribute no
+        fused specs.
+        """
+        self.broadcast_eigen(layer, group, pre)
+        return []
+
+    def finalize_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        """Hook run after every eigen-broadcast spec of ``layer`` completed."""
+
+    def gradient_broadcast_specs(
+        self,
+        group: LayerWorkGroups,
+        value: Optional[np.ndarray],
+        pre: "KFAC",
+        install: "Callable[[np.ndarray], None]",
+    ) -> List[BroadcastSpec]:
+        """Fused-schedule equivalent of :meth:`broadcast_gradient`.
+
+        ``install`` receives the layer's preconditioned gradient — either
+        immediately (no communication needed on this rank) or from the
+        engine when the fused broadcast completes.  Default: run
+        :meth:`broadcast_gradient` synchronously and install its result.
+        """
+        install(self.broadcast_gradient(group, value, pre))
+        return []
+
 
 class CommOptStrategy(DistributionStrategy):
     """COMM-OPT: every rank caches every eigen decomposition (section 2.2.2).
@@ -319,6 +412,35 @@ class CommOptStrategy(DistributionStrategy):
         self, group: LayerWorkGroups, value: Optional[np.ndarray], pre: "KFAC"
     ) -> Optional[np.ndarray]:
         return value  # every rank is a gradient worker; nothing to send
+
+    # ------------------------------------------- fused (overlap-engine) plan
+    def eigen_broadcast_specs(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> List[BroadcastSpec]:
+        dtype = np.dtype(pre.precision.inverse_dtype)
+        # The A and G decompositions come from (possibly) different source
+        # ranks and go to the whole world.
+        return [
+            _packed_eigen_spec(layer, which, src, None, dtype, is_src=pre.rank == src)
+            for which, src in (("a", group.eigen_worker_a), ("g", group.eigen_worker_g))
+        ]
+
+    def finalize_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        # Same as the tail of broadcast_eigen: every rank forms the
+        # eigenvalue outer product locally from the received decompositions.
+        dtype = pre.precision.inverse_dtype
+        if pre.compute_eigen_outer:
+            layer.inverse_outer = eigenvalue_outer_product(layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype)
+        else:
+            layer.inverse_outer = None
+
+    def gradient_broadcast_specs(
+        self,
+        group: LayerWorkGroups,
+        value: Optional[np.ndarray],
+        pre: "KFAC",
+        install: Callable[[np.ndarray], None],
+    ) -> List[BroadcastSpec]:
+        install(value)  # every rank preconditioned locally; nothing to send
+        return []
 
 
 class HybridOptStrategy(DistributionStrategy):
@@ -403,6 +525,72 @@ class HybridOptStrategy(DistributionStrategy):
             return value
         send = value if pre.rank == worker else None
         return pre.comm.broadcast(send, src=worker, group=members)
+
+    # ------------------------------------------- fused (overlap-engine) plan
+    def eigen_broadcast_specs(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> List[BroadcastSpec]:
+        if not group.is_grad_worker(pre.rank):
+            layer.clear_eigen()
+            return []
+        dtype = np.dtype(pre.precision.inverse_dtype)
+        bcast_group = group.grad_workers
+        src = group.eigen_worker
+        is_src = pre.rank == src
+        # One eigen worker holds both decompositions; they go to its block.
+        specs = [
+            _packed_eigen_spec(layer, which, src, bcast_group, dtype, is_src=is_src)
+            for which in ("a", "g")
+        ]
+        if pre.compute_eigen_outer:
+            if len(bcast_group) <= 1:
+                pass  # sole gradient worker keeps its locally computed outer product
+            else:
+
+                def install_outer(outer: np.ndarray, layer=layer) -> None:
+                    # Copy out of the fused bucket: this array outlives the
+                    # broadcast (kept until the next inverse update), and a
+                    # view would pin the whole bucket buffer in memory.
+                    layer.inverse_outer = outer.copy()
+
+                specs.append(
+                    BroadcastSpec(
+                        key=f"{layer.name}/inverse_outer",
+                        src=src,
+                        group=bcast_group,
+                        shape=(layer.g_dim, layer.a_dim),
+                        dtype=dtype,
+                        payload=layer.inverse_outer if is_src else None,
+                        on_complete=install_outer,
+                    )
+                )
+        else:
+            layer.inverse_outer = None
+        return specs
+
+    def gradient_broadcast_specs(
+        self,
+        group: LayerWorkGroups,
+        value: Optional[np.ndarray],
+        pre: "KFAC",
+        install: Callable[[np.ndarray], None],
+    ) -> List[BroadcastSpec]:
+        worker = group.grad_worker_for(pre.rank)
+        members = (worker,) + group.receivers_of(worker)
+        if len(members) == 1:
+            install(value)
+            return []
+        layer = group.layer
+        return [
+            BroadcastSpec(
+                key=f"{layer.name}/precond_grad",
+                src=worker,
+                group=members,
+                # precondition() returns the float32 bias-folded matrix (g_dim, a_dim)
+                shape=(layer.g_dim, layer.a_dim),
+                dtype=np.dtype(np.float32),
+                payload=value if pre.rank == worker else None,
+                on_complete=install,
+            )
+        ]
 
 
 class MemOptStrategy(HybridOptStrategy):

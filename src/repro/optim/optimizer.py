@@ -55,6 +55,84 @@ class Optimizer:
         """Per-parameter optimizer state (lazily created)."""
         return self.state.setdefault(id(param), {})
 
+    # ------------------------------------------------------------ checkpoint
+    def state_dict(self) -> Dict:
+        """Serializable optimizer state: per-parameter buffers and group hyperparameters.
+
+        Parameters are identified by their position across the parameter
+        groups (the PyTorch convention), so a checkpoint can be restored into
+        a freshly constructed optimizer over an equivalent model.  Array
+        buffers (momentum, Adam/LAMB moments) are copied; scalar state (step
+        counters) is stored as-is.
+        """
+        index: Dict[int, int] = {}
+        groups_out: List[Dict] = []
+        for group in self.param_groups:
+            param_indices = []
+            for param in group["params"]:
+                if id(param) not in index:
+                    index[id(param)] = len(index)
+                param_indices.append(index[id(param)])
+            entry = {key: value for key, value in group.items() if key != "params"}
+            entry["params"] = param_indices
+            groups_out.append(entry)
+        state_out: Dict[int, Dict] = {}
+        for group in self.param_groups:
+            for param in group["params"]:
+                entry = self.state.get(id(param))
+                if not entry:
+                    continue
+                state_out[index[id(param)]] = {
+                    key: value.copy() if isinstance(value, np.ndarray) else value
+                    for key, value in entry.items()
+                }
+        return {"state": state_out, "param_groups": groups_out}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        The optimizer must have been constructed with the same parameter
+        -group structure (same group count and sizes); group hyperparameters
+        (lr, momentum, betas, ...) are restored from the checkpoint so the
+        resumed schedule matches the saved one.
+        """
+        saved_groups = state["param_groups"]
+        if len(saved_groups) != len(self.param_groups):
+            raise ValueError(
+                f"checkpoint has {len(saved_groups)} param groups, optimizer has {len(self.param_groups)}"
+            )
+        params_by_index: Dict[int, Parameter] = {}
+        for group, saved in zip(self.param_groups, saved_groups):
+            if len(saved["params"]) != len(group["params"]):
+                raise ValueError(
+                    f"checkpoint group has {len(saved['params'])} parameters, "
+                    f"optimizer group has {len(group['params'])}"
+                )
+            for param, param_index in zip(group["params"], saved["params"]):
+                existing = params_by_index.setdefault(param_index, param)
+                if existing is not param:
+                    raise ValueError("checkpoint parameter indices are inconsistent across groups")
+            for key, value in saved.items():
+                if key != "params":
+                    group[key] = value
+        self.state.clear()
+        for param_index, entry in state["state"].items():
+            param = params_by_index.get(int(param_index))
+            if param is None:
+                raise ValueError(f"checkpoint references unknown parameter index {param_index}")
+            restored = {}
+            for key, value in entry.items():
+                if isinstance(value, np.ndarray):
+                    if value.shape != param.data.shape:
+                        raise ValueError(
+                            f"optimizer buffer {key!r} for parameter {param_index} has shape "
+                            f"{value.shape}, expected {param.data.shape}"
+                        )
+                    restored[key] = value.copy()
+                else:
+                    restored[key] = value
+            self.state[id(param)] = restored
+
     def state_bytes(self) -> int:
         """Total bytes of optimizer state (momentum buffers etc.), for the memory model."""
         total = 0

@@ -58,6 +58,7 @@ class Trainer:
         comm: Optional[Communicator] = None,
         grad_accumulation_steps: int = 1,
         iteration_time: Optional[float] = None,
+        bucket_cap_mb: Optional[float] = None,
     ) -> None:
         if grad_accumulation_steps < 1:
             raise ValueError("grad_accumulation_steps must be >= 1")
@@ -75,6 +76,9 @@ class Trainer:
         self.comm = comm
         self.grad_accumulation_steps = int(grad_accumulation_steps)
         self.iteration_time = iteration_time
+        # None = single flattened allreduce; a cap routes gradient averaging
+        # through the bucketed nonblocking engine (numerically identical).
+        self.bucket_cap_mb = bucket_cap_mb
         self.iterations = 0
         self.simulated_time = 0.0
         self._start_time = time.perf_counter()
@@ -102,7 +106,7 @@ class Trainer:
                 if param.grad is not None:
                     param.grad = param.grad * scale
         if self.comm is not None:
-            allreduce_gradients(self.model, self.comm)
+            allreduce_gradients(self.model, self.comm, bucket_cap_mb=self.bucket_cap_mb)
         if self.grad_scaler is not None:
             self.grad_scaler.unscale_(self.optimizer)
         if self.preconditioner is not None:
@@ -122,16 +126,18 @@ class Trainer:
 
     # ------------------------------------------------------------ checkpoint
     def state_dict(self) -> dict:
-        """Checkpointable trainer state: model, preconditioner, scheduler/scaler, counters.
+        """Complete checkpointable trainer state.
 
-        (First-order optimizer buffers are not yet serializable; everything
-        else — model weights, K-FAC factors/eigen state, LR-schedule position,
-        loss scale and iteration counters — round-trips.)
+        Model weights, first-order optimizer buffers (momentum / Adam / LAMB
+        moments), K-FAC factors and eigen state, LR-schedule position, loss
+        scale and iteration counters all round-trip, so a restored trainer
+        reproduces the exact training trajectory.
         """
         state = {
             "iterations": self.iterations,
             "simulated_time": self.simulated_time,
             "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
             "preconditioner": None,
             "lr_scheduler": None,
             "grad_scaler": None,
@@ -151,6 +157,12 @@ class Trainer:
         (or vice versa) raises: resuming would silently keep stale state.
         """
         self.model.load_state_dict(state["model"])
+        if "optimizer" not in state:
+            raise ValueError(
+                "checkpoint contains no optimizer state; it predates optimizer serialization "
+                "and cannot restore the exact training trajectory"
+            )
+        self.optimizer.load_state_dict(state["optimizer"])
         for attr, key in (
             ("preconditioner", "preconditioner"),
             ("lr_scheduler", "lr_scheduler"),

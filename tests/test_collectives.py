@@ -1,0 +1,606 @@
+"""Tests for the asynchronous bucketed collective engine.
+
+Covers the nonblocking communicator primitives (WorkHandle semantics on both
+backends), the BucketManager's deterministic fusion, the OverlapScheduler's
+fused broadcast/allreduce execution, the CommunicationLog's fused-message
+accounting, bucketed DDP gradient averaging, the analytic fused-vs-unfused
+schedule model, and the acceptance criterion: with ``comm_overlap=True`` all
+three distribution strategies produce bitwise-identical preconditioned steps
+to the synchronous path on the threaded backend.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.distributed import (
+    AllreduceSpec,
+    BroadcastSpec,
+    BucketManager,
+    CommunicationLog,
+    CompletedWork,
+    DistributedDataParallel,
+    OverlapScheduler,
+    PerformanceModel,
+    SingleProcessCommunicator,
+    ThreadedWorld,
+    allreduce_gradients,
+    run_spmd,
+)
+from repro.experiments import paper_workload_spec
+from repro.kfac import KFAC, KFACConfig, DistributionStrategy, model_comm_schedule
+from repro.kfac.config import default_comm_overlap
+from repro.models import MLP
+from repro.tensor import Tensor
+
+
+def make_problem(seed=0, samples=64, in_dim=6, classes=3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((samples, in_dim)).astype(np.float32)
+    w = rng.standard_normal((in_dim, classes)).astype(np.float32)
+    y = (x @ w).argmax(axis=1)
+    return x, y
+
+
+class TestWorkHandles:
+    def test_completed_work(self):
+        handle = CompletedWork(np.arange(3))
+        assert handle.is_done()
+        np.testing.assert_array_equal(handle.wait(), np.arange(3))
+
+    def test_default_nonblocking_falls_back_to_blocking(self):
+        comm = SingleProcessCommunicator()
+        handle = comm.iallreduce_average(np.ones(4))
+        assert handle.is_done()
+        np.testing.assert_array_equal(handle.wait(), np.ones(4))
+        handle = comm.ibroadcast(np.ones(2), src=0)
+        np.testing.assert_array_equal(handle.wait(), np.ones(2))
+
+    def test_threaded_iallreduce_matches_blocking(self):
+        def program(comm):
+            handle = comm.iallreduce_average(np.full(8, float(comm.rank), dtype=np.float32))
+            return handle.wait()
+
+        for result in run_spmd(4, program):
+            np.testing.assert_allclose(result, 1.5)
+
+    def test_threaded_ibroadcast_matches_blocking(self):
+        def program(comm):
+            payload = np.arange(5, dtype=np.float32) if comm.rank == 1 else None
+            return comm.ibroadcast(payload, src=1).wait()
+
+        for result in run_spmd(3, program):
+            np.testing.assert_allclose(result, np.arange(5))
+
+    def test_handles_pipeline_multiple_collectives(self):
+        """All handles can be posted before any is awaited (no deadlock)."""
+
+        def program(comm):
+            handles = [
+                comm.iallreduce_average(np.full(4, float(comm.rank + step), dtype=np.float32))
+                for step in range(5)
+            ]
+            return [h.wait()[0] for h in handles]
+
+        results = run_spmd(3, program)
+        assert results[0] == results[1] == results[2]
+        np.testing.assert_allclose(results[0], [1.0 + s for s in range(5)])
+
+    def test_wait_is_idempotent(self):
+        def program(comm):
+            handle = comm.iallreduce_average(np.ones(2, dtype=np.float32))
+            first = handle.wait()
+            second = handle.wait()
+            return np.array_equal(first, second)
+
+        assert all(run_spmd(2, program))
+
+    def test_single_rank_group_completes_immediately(self):
+        def program(comm):
+            handle = comm.iallreduce_average(np.ones(2, dtype=np.float32), group=(comm.rank,))
+            return handle.is_done()
+
+        assert all(run_spmd(2, program))
+
+
+class TestBucketManager:
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            BucketManager(0.0)
+
+    def test_single_bucket_under_cap(self):
+        manager = BucketManager(1.0)
+        buckets = manager.build([("a", (4, 4), np.float32), ("b", (2, 2), np.float32)])
+        assert len(buckets) == 1
+        assert [e.key for e in buckets[0].entries] == ["a", "b"]
+        assert buckets[0].size == 20
+
+    def test_cap_splits_buckets_deterministically(self):
+        # 1 KiB cap; each tensor is 512 B -> two tensors per bucket.
+        manager = BucketManager(1.0 / 1024)
+        specs = [(f"t{i}", (128,), np.float32) for i in range(5)]
+        buckets = manager.build(specs)
+        assert [len(b) for b in buckets] == [2, 2, 1]
+        assert [e.key for b in buckets for e in b.entries] == [f"t{i}" for i in range(5)]
+
+    def test_oversized_tensor_gets_own_bucket(self):
+        manager = BucketManager(1.0 / 1024)
+        buckets = manager.build([("big", (1024,), np.float32), ("small", (4,), np.float32)])
+        assert [len(b) for b in buckets] == [1, 1]
+
+    def test_dtypes_never_mix(self):
+        manager = BucketManager(10.0)
+        buckets = manager.build(
+            [("a", (4,), np.float32), ("b", (4,), np.float64), ("c", (4,), np.float32)]
+        )
+        assert len(buckets) == 2
+        by_dtype = {b.dtype: [e.key for e in b.entries] for b in buckets}
+        assert by_dtype[np.dtype(np.float32)] == ["a", "c"]
+        assert by_dtype[np.dtype(np.float64)] == ["b"]
+
+    def test_pack_unpack_roundtrip(self):
+        manager = BucketManager(10.0)
+        rng = np.random.default_rng(0)
+        arrays = {"x": rng.random((3, 4)).astype(np.float32), "y": rng.random(7).astype(np.float32)}
+        (bucket,) = manager.build([("x", (3, 4), np.float32), ("y", (7,), np.float32)])
+        unpacked = bucket.unpack(bucket.pack(arrays))
+        for key, original in arrays.items():
+            np.testing.assert_array_equal(unpacked[key], original)
+
+    def test_pack_size_mismatch_raises(self):
+        manager = BucketManager(10.0)
+        (bucket,) = manager.build([("x", (4,), np.float32)])
+        with pytest.raises(ValueError):
+            bucket.pack({"x": np.zeros(5, dtype=np.float32)})
+
+
+class TestOverlapScheduler:
+    def test_fused_allreduce_matches_per_tensor(self):
+        def program(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=1.0)
+            rng = np.random.default_rng(comm.rank)
+            tensors = {f"t{i}": rng.random(16).astype(np.float32) for i in range(6)}
+            out = {}
+            specs = [
+                AllreduceSpec(key=key, payload=value, on_complete=lambda a, k=key: out.__setitem__(k, a))
+                for key, value in tensors.items()
+            ]
+            scheduler.run_allreduces(specs)
+            return out
+
+        fused = run_spmd(4, program)
+
+        def reference(comm):
+            rng = np.random.default_rng(comm.rank)
+            return {f"t{i}": comm.allreduce_average(rng.random(16).astype(np.float32)) for i in range(6)}
+
+        unfused = run_spmd(4, reference)
+        for rank in range(4):
+            for key in fused[rank]:
+                np.testing.assert_array_equal(fused[rank][key], unfused[rank][key])
+
+    def test_fused_broadcast_delivers_source_bits(self):
+        def program(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=1.0)
+            out = {}
+            specs = []
+            for i, src in enumerate((0, 1, 1, 2)):
+                payload = np.full(8, 100.0 * src + i, dtype=np.float32) if comm.rank == src else None
+                specs.append(
+                    BroadcastSpec(
+                        key=f"b{i}",
+                        src=src,
+                        group=None,
+                        shape=(8,),
+                        dtype=np.dtype(np.float32),
+                        payload=payload,
+                        on_complete=lambda a, k=f"b{i}": out.__setitem__(k, a),
+                    )
+                )
+            scheduler.run_broadcasts(specs)
+            return out
+
+        for rank_out in run_spmd(3, program):
+            for i, src in enumerate((0, 1, 1, 2)):
+                np.testing.assert_allclose(rank_out[f"b{i}"], 100.0 * src + i)
+
+    def test_subgroup_specs_skip_nonmembers(self):
+        def program(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=1.0)
+            group = (0, 1) if comm.rank < 2 else (2, 3)
+            out = {}
+            specs = [
+                BroadcastSpec(
+                    key=f"g{0 if g == (0, 1) else 1}",
+                    src=g[0],
+                    group=g,
+                    shape=(4,),
+                    dtype=np.dtype(np.float32),
+                    payload=np.full(4, float(g[0]), dtype=np.float32) if comm.rank == g[0] else None,
+                    on_complete=lambda a, k=g: out.__setitem__(k, a),
+                )
+                for g in ((0, 1), (2, 3))
+                if comm.rank in g
+            ]
+            scheduler.run_broadcasts(specs)
+            (received,) = out.values()
+            return float(received[0])
+
+        results = run_spmd(4, program)
+        assert results == [0.0, 0.0, 2.0, 2.0]
+
+    def test_missing_source_payload_raises(self):
+        comm = SingleProcessCommunicator()
+        scheduler = OverlapScheduler(comm, bucket_cap_mb=1.0)
+        spec = BroadcastSpec(
+            key="x", src=0, group=None, shape=(4,), dtype=np.dtype(np.float32), payload=None
+        )
+        with pytest.raises(ValueError, match="no payload"):
+            scheduler.run_broadcasts([spec])
+
+
+class TestFusedAccounting:
+    """Satellite: CommunicationLog accounting for fused vs unfused schedules."""
+
+    def _run_world(self, world_size, program):
+        world = ThreadedWorld(world_size, cost_model=PerformanceModel())
+        threads = [
+            threading.Thread(target=program, args=(world.communicator(rank),)) for rank in range(world_size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return world.log
+
+    def test_fused_bucket_reports_total_bytes_once(self):
+        def fused(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=1.0)
+            specs = [
+                AllreduceSpec(key=f"t{i}", payload=np.ones(64, dtype=np.float32)) for i in range(5)
+            ]
+            scheduler.run_allreduces(specs)
+
+        log = self._run_world(2, fused)
+        # 5 tensors x 64 float32 = 1280 bytes, moved in ONE message.
+        assert log.bytes_by_op["allreduce"] == 5 * 64 * 4
+        assert log.messages_by_op["allreduce"] == 1
+        assert log.tensors_by_op["allreduce"] == 5
+        (event,) = log.events
+        assert event.fused_count == 5
+
+    def test_unfused_path_reports_one_message_per_tensor(self):
+        def unfused(comm):
+            for _ in range(5):
+                comm.allreduce_average(np.ones(64, dtype=np.float32))
+
+        log = self._run_world(2, unfused)
+        assert log.bytes_by_op["allreduce"] == 5 * 64 * 4
+        assert log.messages_by_op["allreduce"] == 5
+        assert log.tensors_by_op["allreduce"] == 5
+        assert all(event.fused_count == 1 for event in log.events)
+
+    def test_fused_and_unfused_same_bytes_fewer_messages(self):
+        def fused(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=25.0)
+            scheduler.run_allreduces(
+                [AllreduceSpec(key=f"t{i}", payload=np.ones(16, dtype=np.float32)) for i in range(8)]
+            )
+
+        def unfused(comm):
+            for _ in range(8):
+                comm.allreduce_average(np.ones(16, dtype=np.float32))
+
+        fused_log = self._run_world(2, fused)
+        unfused_log = self._run_world(2, unfused)
+        assert fused_log.total_bytes() == unfused_log.total_bytes()
+        assert fused_log.total_tensors() == unfused_log.total_tensors() == 8
+        assert fused_log.total_messages() < unfused_log.total_messages()
+        # Fewer messages => fewer alpha latency terms => less simulated time.
+        assert fused_log.iteration_time() < unfused_log.iteration_time()
+
+    def test_per_group_fused_collectives_charge_members_only(self):
+        def fused(comm):
+            scheduler = OverlapScheduler(comm, bucket_cap_mb=25.0)
+            group = (0, 1) if comm.rank < 2 else (2, 3)
+            if comm.rank in group:
+                scheduler.run_broadcasts(
+                    [
+                        BroadcastSpec(
+                            key=f"x{i}/{group[0]}",
+                            src=group[0],
+                            group=group,
+                            shape=(32,),
+                            dtype=np.dtype(np.float32),
+                            payload=np.ones(32, dtype=np.float32) if comm.rank == group[0] else None,
+                        )
+                        for i in range(3)
+                    ]
+                )
+
+        log = self._run_world(4, fused)
+        # One fused message per two-rank group, three tensors each.
+        assert log.messages_by_op["broadcast"] == 2
+        assert log.tensors_by_op["broadcast"] == 6
+        assert log.bytes_by_op["broadcast"] == 2 * 3 * 32 * 4
+        for event in log.events:
+            assert event.group_size == 2
+            assert event.fused_count == 3
+        # Every rank participated in exactly one group's broadcast.
+        assert all(log.comm_time > 0)
+
+
+class TestBucketedDDP:
+    def test_bucketed_gradients_match_flat_path(self):
+        x, y = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+
+        def run(bucket_cap_mb):
+            def program(comm):
+                model = MLP(6, [16, 8], 3, rng=np.random.default_rng(0))
+                ddp = DistributedDataParallel(model, comm, bucket_cap_mb=bucket_cap_mb)
+                n = x.shape[0] // comm.world_size
+                sl = slice(comm.rank * n, (comm.rank + 1) * n)
+                loss = loss_fn(model(Tensor(x[sl])), y[sl])
+                loss.backward()
+                ddp.sync_gradients()
+                return np.concatenate([p.grad.ravel() for p in model.parameters()])
+
+            return run_spmd(4, program)
+
+        flat = run(None)
+        bucketed = run(0.0005)  # ~512 B cap forces several buckets
+        for a, b in zip(flat, bucketed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_bucketed_allreduce_records_fewer_messages_than_tensors(self):
+        x, y = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+        world = ThreadedWorld(2)
+
+        def program(comm):
+            model = MLP(6, [16, 8], 3, rng=np.random.default_rng(0))
+            loss = loss_fn(model(Tensor(x[:16])), y[:16])
+            loss.backward()
+            allreduce_gradients(model, comm, bucket_cap_mb=25.0)
+
+        threads = [threading.Thread(target=program, args=(world.communicator(r),)) for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Six parameter tensors (3 layers x weight+bias) in one capped bucket.
+        assert world.log.tensors_by_op["allreduce"] == 6
+        assert world.log.messages_by_op["allreduce"] == 1
+
+
+class TestKFACOverlapBitwise:
+    """Acceptance: comm_overlap=True is bitwise-identical to the synchronous path."""
+
+    WORLD = 4
+    STEPS = 3
+
+    def _train(self, frac, overlap, bucket_cap_mb=0.001, triangular=False, world=None):
+        world_size = world or self.WORLD
+        x, y = make_problem(seed=11)
+        loss_fn = nn.CrossEntropyLoss()
+
+        def program(comm):
+            model = MLP(6, [12, 8], 3, rng=np.random.default_rng(0))
+            ddp = DistributedDataParallel(model, comm)
+            config = KFACConfig(
+                grad_worker_frac=frac,
+                factor_update_freq=1,
+                inv_update_freq=1,
+                comm_overlap=overlap,
+                bucket_cap_mb=bucket_cap_mb,
+                triangular_comm=triangular,
+            )
+            pre = KFAC.from_config(model, config, comm=comm)
+            n = x.shape[0] // comm.world_size
+            sl = slice(comm.rank * n, (comm.rank + 1) * n)
+            for _ in range(self.STEPS):
+                for p in model.parameters():
+                    p.grad = None
+                loss = loss_fn(model(Tensor(x[sl])), y[sl])
+                loss.backward()
+                ddp.sync_gradients()
+                pre.step()
+            return np.concatenate([p.grad.ravel() for p in model.parameters()])
+
+        return run_spmd(world_size, program)
+
+    @pytest.mark.parametrize("frac", [0.25, 0.5, 1.0], ids=["mem-opt", "hybrid-opt", "comm-opt"])
+    def test_all_strategies_bitwise_identical(self, frac):
+        sync = self._train(frac, overlap=False)
+        fused = self._train(frac, overlap=True)
+        for rank, (a, b) in enumerate(zip(sync, fused)):
+            np.testing.assert_array_equal(a, b, err_msg=f"rank {rank} diverged under frac={frac}")
+
+    def test_overlap_with_triangular_comm(self):
+        sync = self._train(0.5, overlap=False, triangular=True)
+        fused = self._train(0.5, overlap=True, triangular=True)
+        for a, b in zip(sync, fused):
+            np.testing.assert_array_equal(a, b)
+
+    def test_overlap_single_process(self):
+        x, y = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+
+        def run(overlap):
+            model = MLP(6, [12], 3, rng=np.random.default_rng(0))
+            pre = KFAC(model, factor_update_freq=1, inv_update_freq=1, comm_overlap=overlap)
+            loss = loss_fn(model(Tensor(x[:32])), y[:32])
+            loss.backward()
+            pre.step()
+            return np.concatenate([p.grad.ravel() for p in model.parameters()])
+
+        np.testing.assert_array_equal(run(False), run(True))
+
+    def test_overlap_issues_fewer_messages_same_bytes(self):
+        x, y = make_problem(seed=3)
+        loss_fn = nn.CrossEntropyLoss()
+
+        def run(overlap):
+            world = ThreadedWorld(self.WORLD)
+
+            def program(comm):
+                model = MLP(6, [12, 8], 3, rng=np.random.default_rng(0))
+                ddp = DistributedDataParallel(model, comm)
+                pre = KFAC(
+                    model,
+                    factor_update_freq=1,
+                    inv_update_freq=1,
+                    grad_worker_frac=0.5,
+                    comm_overlap=overlap,
+                    comm=comm,
+                )
+                n = x.shape[0] // comm.world_size
+                sl = slice(comm.rank * n, (comm.rank + 1) * n)
+                for p in model.parameters():
+                    p.grad = None
+                loss = loss_fn(model(Tensor(x[sl])), y[sl])
+                loss.backward()
+                ddp.sync_gradients()
+                pre.step()
+
+            threads = [
+                threading.Thread(target=program, args=(world.communicator(r),)) for r in range(self.WORLD)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return world.log
+
+        sync_log = run(False)
+        fused_log = run(True)
+        assert fused_log.total_bytes() == sync_log.total_bytes()
+        assert fused_log.total_tensors() == sync_log.total_messages()
+        assert fused_log.total_messages() < sync_log.total_messages()
+
+
+class TestConfigKnobs:
+    def test_defaults(self):
+        config = KFACConfig()
+        assert config.comm_overlap == default_comm_overlap()
+        assert config.bucket_cap_mb == 25.0
+
+    def test_invalid_bucket_cap(self):
+        with pytest.raises(ValueError):
+            KFACConfig(bucket_cap_mb=0.0)
+
+    def test_env_toggle_flips_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_OVERLAP", "1")
+        assert KFACConfig().comm_overlap is True
+        monkeypatch.setenv("REPRO_COMM_OVERLAP", "off")
+        assert KFACConfig().comm_overlap is False
+
+    def test_round_trips_through_dict(self):
+        config = KFACConfig(comm_overlap=True, bucket_cap_mb=4.0)
+        restored = KFACConfig.from_dict(config.to_dict())
+        assert restored.comm_overlap is True
+        assert restored.bucket_cap_mb == 4.0
+
+    def test_kfac_exposes_scheduler_only_when_enabled(self):
+        model = MLP(4, [6], 2, rng=np.random.default_rng(0))
+        assert KFAC(model, comm_overlap=False).scheduler is None
+        pre = KFAC(model, comm_overlap=True, bucket_cap_mb=2.0)
+        assert pre.scheduler is not None
+        assert pre.scheduler.buckets.bucket_cap_mb == 2.0
+
+
+class TestCommScheduleModel:
+    def test_bert_sized_fusion_saves_messages_and_time(self):
+        spec = paper_workload_spec("bert_large")
+        for world_size in (8, 16):
+            for frac in (1.0 / world_size, 0.5, 1.0):
+                unfused = model_comm_schedule(spec, world_size, frac, fused=False)
+                fused = model_comm_schedule(spec, world_size, frac, fused=True)
+                assert fused.comm_bytes_per_update == unfused.comm_bytes_per_update
+                assert fused.messages_per_update < unfused.messages_per_update
+                assert fused.iteration_time < unfused.iteration_time
+
+    def test_world_of_one_has_no_messages(self):
+        spec = paper_workload_spec("resnet18")
+        schedule = model_comm_schedule(spec, 1, 1.0, fused=True)
+        assert schedule.messages_per_update == 0
+        assert schedule.comm_bytes_per_update == 0
+
+    def test_fused_message_cost_helpers(self):
+        perf = PerformanceModel()
+        # Same bytes in one message cost less than in ten.
+        assert perf.fused_allreduce_time(1e6, 8, 1) < perf.fused_allreduce_time(1e6, 8, 10)
+        assert perf.fused_broadcast_time(1e6, 8, 1) < perf.fused_broadcast_time(1e6, 8, 10)
+        # One message reduces to the classic formulae.
+        assert perf.fused_allreduce_time(1e6, 8, 1) == pytest.approx(perf.allreduce_time(1e6, 8))
+        assert perf.fused_broadcast_time(1e6, 8, 1) == pytest.approx(perf.broadcast_time(1e6, 8))
+        assert perf.exposed_comm_time(2.0, 0.5) == pytest.approx(1.5)
+        assert perf.exposed_comm_time(1.0, 3.0) == 0.0
+
+
+class TestCustomStrategyFallback:
+    """A strategy implementing only the synchronous PR-1 interface must keep
+    working when comm_overlap is enabled (e.g. via REPRO_COMM_OVERLAP=1)."""
+
+    class ReplicatedStrategy(DistributionStrategy):
+        """Every rank computes every eigen decomposition locally; no broadcasts."""
+
+        name = "REPLICATED"
+
+        def assign(self, layers):
+            from repro.kfac import LayerWorkGroups
+
+            all_ranks = tuple(range(self.world_size))
+            return {
+                layer.name: LayerWorkGroups(
+                    layer=layer,
+                    eigen_worker_a=0,
+                    eigen_worker_g=0,
+                    grad_workers=all_ranks,
+                    receiver_map={},
+                )
+                for layer in layers
+            }
+
+        def compute_eigen(self, layer, group, pre):
+            layer.compute_eigen(pre.damping, compute_outer=pre.compute_eigen_outer)
+
+        def broadcast_eigen(self, layer, group, pre):
+            pass  # factors were allreduced, so local decompositions already agree
+
+        def broadcast_gradient(self, group, value, pre):
+            return value
+
+    def _train(self, overlap):
+        x, y = make_problem(seed=21)
+        loss_fn = nn.CrossEntropyLoss()
+
+        def program(comm):
+            model = MLP(6, [10], 3, rng=np.random.default_rng(0))
+            ddp = DistributedDataParallel(model, comm)
+            pre = KFAC(
+                model,
+                factor_update_freq=1,
+                inv_update_freq=1,
+                comm_overlap=overlap,
+                comm=comm,
+                strategy=self.ReplicatedStrategy(comm.world_size),
+            )
+            for p in model.parameters():
+                p.grad = None
+            loss = loss_fn(model(Tensor(x[:32])), y[:32])
+            loss.backward()
+            ddp.sync_gradients()
+            pre.step()
+            return np.concatenate([p.grad.ravel() for p in model.parameters()])
+
+        return run_spmd(2, program)
+
+    def test_sync_only_strategy_survives_comm_overlap(self):
+        sync = self._train(overlap=False)
+        fused = self._train(overlap=True)
+        for a, b in zip(sync, fused):
+            np.testing.assert_array_equal(a, b)

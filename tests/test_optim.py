@@ -227,3 +227,128 @@ class TestGradScaler:
         assert scaler.get_scale() == 1.0
         loss = Tensor([2.0])
         assert scaler.scale(loss) is loss
+
+
+class TestOptimizerStateDict:
+    """First-order optimizer state serializes into a complete checkpoint."""
+
+    def _make_params(self, seed=0, shapes=((4, 3), (3,))):
+        rng = np.random.default_rng(seed)
+        return [Parameter(rng.random(shape).astype(np.float32)) for shape in shapes]
+
+    def _step_with_grads(self, opt, params, seed):
+        rng = np.random.default_rng(seed)
+        for param in params:
+            param.grad = rng.standard_normal(param.data.shape).astype(np.float32)
+        opt.step()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: optim.SGD(p, lr=0.1, momentum=0.9, nesterov=True),
+            lambda p: optim.Adam(p, lr=0.01, weight_decay=0.01),
+            lambda p: optim.AdamW(p, lr=0.01, weight_decay=0.01),
+            lambda p: optim.LAMB(p, lr=0.01),
+        ],
+        ids=["sgd-momentum", "adam", "adamw", "lamb"],
+    )
+    def test_resume_is_bit_identical(self, factory):
+        params_a = self._make_params()
+        opt_a = factory(params_a)
+        for step in range(3):
+            self._step_with_grads(opt_a, params_a, seed=step)
+        checkpoint = opt_a.state_dict()
+        snapshot = [p.data.copy() for p in params_a]
+
+        # Fresh optimizer over a fresh copy of the parameters.
+        params_b = self._make_params()
+        for param, data in zip(params_b, snapshot):
+            param.data = data.copy()
+        opt_b = factory(params_b)
+        opt_b.load_state_dict(checkpoint)
+
+        # Continue both for two more steps with identical gradients.
+        for step in range(3, 5):
+            self._step_with_grads(opt_a, params_a, seed=step)
+            self._step_with_grads(opt_b, params_b, seed=step)
+        for a, b in zip(params_a, params_b):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_copies_buffers(self):
+        params = self._make_params()
+        opt = optim.SGD(params, lr=0.1, momentum=0.9)
+        self._step_with_grads(opt, params, seed=0)
+        checkpoint = opt.state_dict()
+        buffer = checkpoint["state"][0]["momentum_buffer"]
+        buffer[:] = 1e9  # mutating the checkpoint must not corrupt the optimizer
+        assert not np.any(opt.state_dict()["state"][0]["momentum_buffer"] == 1e9)
+
+    def test_group_hyperparameters_restore(self):
+        params = self._make_params()
+        opt = optim.SGD(params, lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        opt2 = optim.SGD(self._make_params(), lr=0.5, momentum=0.0)
+        opt2.load_state_dict(state)
+        assert opt2.param_groups[0]["lr"] == 0.1
+        assert opt2.param_groups[0]["momentum"] == 0.9
+
+    def test_group_structure_mismatch_raises(self):
+        opt = optim.SGD(self._make_params(), lr=0.1)
+        other = optim.SGD(self._make_params(shapes=((4, 3),)), lr=0.1)
+        with pytest.raises(ValueError, match="parameters"):
+            other.load_state_dict(opt.state_dict())
+
+    def test_buffer_shape_mismatch_raises(self):
+        params = self._make_params()
+        opt = optim.SGD(params, lr=0.1, momentum=0.9)
+        self._step_with_grads(opt, params, seed=0)
+        state = opt.state_dict()
+        state["state"][0]["momentum_buffer"] = np.zeros((2, 2), dtype=np.float32)
+        fresh = optim.SGD(self._make_params(), lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError, match="shape"):
+            fresh.load_state_dict(state)
+
+    def test_trainer_checkpoint_resumes_momentum_bitwise(self):
+        from repro.models import MLP
+        from repro.training import Trainer
+
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((32, 6)).astype(np.float32)
+        y = (x @ rng.standard_normal((6, 3)).astype(np.float32)).argmax(axis=1)
+        loss_fn = nn.CrossEntropyLoss()
+
+        def forward_loss(m, batch):
+            features, labels = batch
+            return loss_fn(m(Tensor(features)), labels)
+
+        def build():
+            model = MLP(6, [10], 3, rng=np.random.default_rng(0))
+            return Trainer(model, optim.SGD(model.parameters(), lr=0.1, momentum=0.9), forward_loss)
+
+        trainer = build()
+        for _ in range(3):
+            trainer.train_step((x, y))
+        state = trainer.state_dict()
+        assert state["optimizer"]["state"], "momentum buffers must be checkpointed"
+
+        resumed = build()
+        resumed.load_state_dict(state)
+        trainer.train_step((x, y))
+        resumed.train_step((x, y))
+        for a, b in zip(trainer.model.parameters(), resumed.model.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_trainer_rejects_checkpoint_without_optimizer_state(self):
+        from repro.models import MLP
+        from repro.training import Trainer
+
+        model = MLP(6, [10], 3, rng=np.random.default_rng(0))
+        trainer = Trainer(
+            model,
+            optim.SGD(model.parameters(), lr=0.1),
+            lambda m, batch: nn.CrossEntropyLoss()(m(Tensor(batch[0])), batch[1]),
+        )
+        state = trainer.state_dict()
+        del state["optimizer"]
+        with pytest.raises(ValueError, match="optimizer"):
+            trainer.load_state_dict(state)

@@ -315,3 +315,25 @@ class TestReporting:
 
     def test_ascii_curve_empty(self):
         assert "empty" in ascii_curve([])
+
+
+class TestMeasuredMemoryReport:
+    def test_live_memory_matches_analytic_prediction(self):
+        from repro.experiments import measured_memory_report
+
+        report = measured_memory_report("mlp", world_size=2, grad_worker_frac=0.5, steps=1)
+        assert report["world_size"] == 2
+        assert len(report["per_rank"]) == 2
+        for entry in report["per_rank"]:
+            assert entry["measured"]["total"] > 0
+            assert entry["measured"] == entry["predicted"]
+        assert report["measured_total_max"] >= report["measured_total_mean"]
+
+    def test_comm_opt_holds_more_eigen_state_than_mem_opt(self):
+        from repro.experiments import measured_memory_report
+
+        mem_opt = measured_memory_report("mlp", world_size=4, grad_worker_frac=0.25, steps=1)
+        comm_opt = measured_memory_report("mlp", world_size=4, grad_worker_frac=1.0, steps=1)
+        mem_eigen = sum(e["measured"]["eigen"] for e in mem_opt["per_rank"])
+        comm_eigen = sum(e["measured"]["eigen"] for e in comm_opt["per_rank"])
+        assert comm_eigen > mem_eigen
