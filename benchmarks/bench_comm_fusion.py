@@ -1,15 +1,18 @@
-"""Communication fusion: modeled message counts and iteration time, fused vs unfused.
+"""Communication fusion and backward-hook overlap: modeled schedules compared.
 
 The asynchronous bucketed collective engine (``repro.distributed.collectives``)
 coalesces K-FAC's per-layer factor allreduces, eigen broadcasts and
 preconditioned-gradient broadcasts into capped fused buffers, paying one
-latency (alpha) term per bucket instead of one per tensor, and overlaps the
-factor allreduce with backward compute.  This benchmark prices both schedules
-with :func:`repro.kfac.model_comm_schedule` on the BERT-Large layer set
-across MEM-OPT / HYBRID-OPT / COMM-OPT and world sizes >= 8, asserts the
-fused schedule issues strictly fewer collective messages and a strictly lower
-modeled iteration time at identical byte volume, and emits the numbers to
-``BENCH_comm_fusion.json`` to seed the performance trajectory.
+latency (alpha) term per bucket instead of one per tensor; the hook-driven
+gradient pipeline additionally posts the factor and gradient buckets while
+the backward pass still runs, hiding them behind compute.  This benchmark
+prices all three schedules (unfused, step-time fused, hooked) with
+:func:`repro.kfac.model_comm_schedule` on the BERT-Large layer set across
+MEM-OPT / HYBRID-OPT / COMM-OPT and world sizes >= 8, asserts the fused
+schedule issues strictly fewer collective messages and a strictly lower
+modeled iteration time at identical byte volume, asserts the hooked schedule
+exposes strictly less communication than the step-time fused one, and emits
+the numbers to ``BENCH_comm_fusion.json`` to seed the performance trajectory.
 """
 
 import json
@@ -42,7 +45,8 @@ def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
             for label, frac in strategy_fracs(world_size).items():
                 unfused = model_comm_schedule(spec, world_size, frac, fused=False, bucket_cap_mb=BUCKET_CAP_MB)
                 fused = model_comm_schedule(spec, world_size, frac, fused=True, bucket_cap_mb=BUCKET_CAP_MB)
-                results.append((label, world_size, frac, unfused, fused))
+                hooked = model_comm_schedule(spec, world_size, frac, hooked=True, bucket_cap_mb=BUCKET_CAP_MB)
+                results.append((label, world_size, frac, unfused, fused, hooked))
         return results
 
     results = benchmark(sweep)
@@ -53,7 +57,7 @@ def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
         "bucket_cap_mb": BUCKET_CAP_MB,
         "results": [],
     }
-    for label, world_size, frac, unfused, fused in results:
+    for label, world_size, frac, unfused, fused, hooked in results:
         message_reduction = 1.0 - fused.messages_per_update / unfused.messages_per_update
         time_saving_ms = (unfused.iteration_time - fused.iteration_time) * 1000
         rows.append(
@@ -66,6 +70,9 @@ def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
                 round(unfused.kfac_comm_time * 1000, 3),
                 round(fused.kfac_comm_time * 1000, 3),
                 round(time_saving_ms, 3),
+                round(fused.exposed_comm_time * 1000, 3),
+                round(hooked.exposed_comm_time * 1000, 3),
+                round(hooked.hidden_comm_time * 1000, 3),
             ]
         )
         payload["results"].append(
@@ -80,16 +87,27 @@ def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
                 "fused_kfac_comm_time": fused.kfac_comm_time,
                 "unfused_iteration_time": unfused.iteration_time,
                 "fused_iteration_time": fused.iteration_time,
+                "fused_exposed_comm_time": fused.exposed_comm_time,
+                "hooked_exposed_comm_time": hooked.exposed_comm_time,
+                "hooked_hidden_comm_time": hooked.hidden_comm_time,
+                "hooked_iteration_time": hooked.iteration_time,
             }
         )
 
         # Acceptance criteria: same bytes, strictly fewer messages, strictly
-        # lower modeled iteration time for every strategy at world size >= 8.
+        # lower modeled iteration time for every strategy at world size >= 8;
+        # the hooked (backward-posting) schedule hides communication behind
+        # backprop, strictly lowering exposed comm time at identical volume.
         assert unfused.comm_bytes_per_update == fused.comm_bytes_per_update
         assert fused.messages_per_update < unfused.messages_per_update, (label, world_size)
         assert fused.iteration_time < unfused.iteration_time, (label, world_size)
+        assert hooked.comm_bytes_per_update == fused.comm_bytes_per_update
+        assert hooked.exposed_comm_time < fused.exposed_comm_time, (label, world_size)
+        assert hooked.iteration_time < fused.iteration_time, (label, world_size)
 
-    print_section("Communication fusion - BERT-Large layer set (modeled, EDR InfiniBand)")
+    print_section(
+        "Communication fusion + backward-hook overlap - BERT-Large layer set (modeled, EDR InfiniBand)"
+    )
     print(
         format_table(
             [
@@ -101,6 +119,9 @@ def test_comm_fusion_fewer_messages_and_lower_time(benchmark):
                 "KFAC comm unfused (ms)",
                 "KFAC comm fused (ms)",
                 "iter time saved (ms)",
+                "exposed fused (ms)",
+                "exposed hooked (ms)",
+                "hidden hooked (ms)",
             ],
             rows,
         )

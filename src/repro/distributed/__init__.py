@@ -13,6 +13,7 @@ from .collectives import (
     BroadcastSpec,
     BucketEntry,
     BucketManager,
+    GradientBucketSpec,
     OverlapScheduler,
     TensorBucket,
 )
@@ -25,9 +26,11 @@ from .cost_model import (
     DeviceSpec,
     NetworkSpec,
     PerformanceModel,
+    choose_bucket_cap,
 )
 from .ddp import (
     DistributedDataParallel,
+    GradientAveragingSubscriber,
     allreduce_gradients,
     broadcast_parameters,
     flatten_arrays,
@@ -48,12 +51,14 @@ __all__ = [
     "BucketManager",
     "BroadcastSpec",
     "AllreduceSpec",
+    "GradientBucketSpec",
     "OverlapScheduler",
     "ThreadedWorld",
     "ThreadedCommunicator",
     "ThreadedWork",
     "run_spmd",
     "DistributedDataParallel",
+    "GradientAveragingSubscriber",
     "allreduce_gradients",
     "broadcast_parameters",
     "flatten_arrays",
@@ -63,6 +68,7 @@ __all__ = [
     "DeviceSpec",
     "NetworkSpec",
     "PerformanceModel",
+    "choose_bucket_cap",
     "V100",
     "A100",
     "EDR_INFINIBAND",

@@ -51,6 +51,7 @@ __all__ = [
     "BucketManager",
     "BroadcastSpec",
     "AllreduceSpec",
+    "GradientBucketSpec",
     "OverlapScheduler",
 ]
 
@@ -188,6 +189,34 @@ class AllreduceSpec:
     on_complete: Optional[Callable[[np.ndarray], None]] = None
 
 
+@dataclass
+class GradientBucketSpec:
+    """One deferred allreduce-average a gradient-pipeline subscriber registers.
+
+    Unlike :class:`AllreduceSpec`, the payload is a *callable* evaluated when
+    the spec's bucket is posted (mid-backward, once every gating event has
+    fired), and readiness is event-driven: the spec becomes ready when the
+    gradients of all ``params`` have been finalized by the autograd tape
+    (grad-ready hooks) and the full backward hooks of all ``modules`` have
+    fired.  ``shape``/``dtype`` describe the payload for deterministic bucket
+    planning — every rank must register identical specs in identical order.
+    """
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    payload: Callable[[], np.ndarray]
+    on_complete: Callable[[np.ndarray], None]
+    params: Tuple = ()  # Parameters whose grad-ready events gate this spec
+    modules: Tuple = ()  # Modules whose full-backward events gate this spec
+    #: Consulted at flush() for specs whose gates never fired during the
+    #: armed backward (e.g. a branch skipped by the final micro-batch): if it
+    #: returns True the payload is valid and the spec is posted anyway; if
+    #: None or False the spec is dropped.  Must be a deterministic function
+    #: of training state (identical on every rank).
+    flush_ready: Optional[Callable[[], bool]] = None
+
+
 class OverlapScheduler:
     """Executes fused, pipelined collective schedules over a :class:`Communicator`.
 
@@ -195,11 +224,24 @@ class OverlapScheduler:
     before any is awaited, so independent buckets (different groups, or
     successive buckets of one group) are in flight concurrently; results are
     awaited in issue order and dispatched to the per-tensor callbacks.
+
+    Two driving styles are supported:
+
+    * ``run_broadcasts`` / ``run_allreduces`` — post a whole schedule, then
+      drain it (the ``KFAC.step()`` pattern);
+    * ``post_broadcasts`` / ``post_allreduces`` followed by a later
+      :meth:`drain` — incremental posting, used by the
+      :class:`~repro.training.pipeline.GradientPipeline` to launch buckets
+      while the backward pass is still producing gradients.
+
+    The scheduler is not reentrant: :meth:`drain` completes *everything*
+    posted so far, in posting order.
     """
 
     def __init__(self, comm: Communicator, bucket_cap_mb: float = 25.0) -> None:
         self.comm = comm
         self.buckets = BucketManager(bucket_cap_mb)
+        self._in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, object]]] = []
 
     # ------------------------------------------------------------- internals
     def _group_members(self, group: Optional[Tuple[int, ...]]) -> Tuple[int, ...]:
@@ -208,13 +250,13 @@ class OverlapScheduler:
         return tuple(sorted(set(int(r) for r in group)))
 
     # ------------------------------------------------------------ broadcasts
-    def run_broadcasts(self, specs: Sequence[BroadcastSpec]) -> None:
-        """Fuse and execute a broadcast schedule.
+    def post_broadcasts(self, specs: Sequence[BroadcastSpec]) -> None:
+        """Fuse and post a broadcast schedule without awaiting it.
 
         Specs are grouped by ``(src, group)`` in first-appearance order and
         bucketized per channel; the local rank participates only in channels
         whose group contains it, so the same globally-ordered schedule can be
-        passed on every rank.
+        passed on every rank.  Results arrive at :meth:`drain`.
         """
         rank = self.comm.rank
         channels: Dict[Tuple, List[BroadcastSpec]] = {}
@@ -229,7 +271,6 @@ class OverlapScheduler:
                 order.append(channel)
             channels[channel].append(spec)
 
-        in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, BroadcastSpec]]] = []
         for channel in order:
             src, members = channel
             channel_specs = channels[channel]
@@ -254,18 +295,16 @@ class OverlapScheduler:
                     flat, src=src, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
-                in_flight.append((handle, bucket, spec_by_key))
+                self._in_flight.append((handle, bucket, spec_by_key))
 
-        for handle, bucket, spec_by_key in in_flight:
-            received = bucket.unpack(handle.wait())
-            for entry in bucket.entries:
-                spec = spec_by_key[entry.key]
-                if spec.on_complete is not None:
-                    spec.on_complete(received[entry.key])
+    def run_broadcasts(self, specs: Sequence[BroadcastSpec]) -> None:
+        """Fuse and execute a broadcast schedule (post + drain)."""
+        self.post_broadcasts(specs)
+        self.drain()
 
     # ------------------------------------------------------------ allreduces
-    def run_allreduces(self, specs: Sequence[AllreduceSpec]) -> None:
-        """Fuse and execute an allreduce-average schedule (same pipelining rules)."""
+    def post_allreduces(self, specs: Sequence[AllreduceSpec]) -> None:
+        """Fuse and post an allreduce-average schedule without awaiting it."""
         rank = self.comm.rank
         channels: Dict[Tuple[int, ...], List[AllreduceSpec]] = {}
         order: List[Tuple[int, ...]] = []
@@ -278,7 +317,6 @@ class OverlapScheduler:
                 order.append(members)
             channels[members].append(spec)
 
-        in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, AllreduceSpec]]] = []
         for members in order:
             channel_specs = channels[members]
             spec_by_key = {spec.key: spec for spec in channel_specs}
@@ -295,11 +333,32 @@ class OverlapScheduler:
                     flat, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
-                in_flight.append((handle, bucket, spec_by_key))
+                self._in_flight.append((handle, bucket, spec_by_key))
 
+    def run_allreduces(self, specs: Sequence[AllreduceSpec]) -> None:
+        """Fuse and execute an allreduce-average schedule (post + drain)."""
+        self.post_allreduces(specs)
+        self.drain()
+
+    # ----------------------------------------------------------------- drain
+    def drain(self) -> None:
+        """Await every posted bucket in posting order and dispatch callbacks."""
+        in_flight, self._in_flight = self._in_flight, []
         for handle, bucket, spec_by_key in in_flight:
-            reduced = bucket.unpack(handle.wait())
+            result = bucket.unpack(handle.wait())
             for entry in bucket.entries:
                 spec = spec_by_key[entry.key]
                 if spec.on_complete is not None:
-                    spec.on_complete(reduced[entry.key])
+                    spec.on_complete(result[entry.key])
+
+    def discard(self) -> None:
+        """Await posted buckets but drop their results without any callbacks.
+
+        The error-recovery counterpart of :meth:`drain`: a collective cannot
+        be cancelled once posted, so this waits the in-flight work out (in an
+        SPMD program every rank must discard symmetrically) while guaranteeing
+        no stale result is installed.
+        """
+        in_flight, self._in_flight = self._in_flight, []
+        for handle, _bucket, _spec_by_key in in_flight:
+            handle.wait()

@@ -19,9 +19,16 @@ import numpy as np
 
 from ..nn.module import Module, Parameter
 from .backend import Communicator
-from .collectives import AllreduceSpec, OverlapScheduler
+from .collectives import AllreduceSpec, GradientBucketSpec, OverlapScheduler
 
-__all__ = ["flatten_arrays", "unflatten_array", "allreduce_gradients", "broadcast_parameters", "DistributedDataParallel"]
+__all__ = [
+    "flatten_arrays",
+    "unflatten_array",
+    "allreduce_gradients",
+    "broadcast_parameters",
+    "GradientAveragingSubscriber",
+    "DistributedDataParallel",
+]
 
 
 def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
@@ -45,13 +52,19 @@ def unflatten_array(flat: np.ndarray, shapes: Sequence[tuple]) -> List[np.ndarra
 
 
 def allreduce_gradients(model: Module, comm: Communicator, bucket_cap_mb: Optional[float] = None) -> None:
-    """Average all parameter gradients across the world.
+    """Average all parameter gradients across the world (explicit/compat path).
 
     With ``bucket_cap_mb=None`` (default) every gradient travels in a single
     flattened blocking allreduce.  With a cap, gradients are coalesced into
     capped buckets in reverse parameter order and posted through the
     nonblocking ``iallreduce_average`` primitive back-to-back, so buckets
     overlap each other in flight; the numerical result is identical.
+
+    This is the synchronous fallback kept for direct callers; hook-driven
+    training uses :class:`GradientAveragingSubscriber` on a
+    :class:`~repro.training.pipeline.GradientPipeline`, which posts the same
+    buckets while the backward pass is still running and is bitwise
+    identical to this function.
     """
     if comm.world_size == 1:
         return
@@ -94,6 +107,55 @@ def broadcast_parameters(model: Module, comm: Communicator, src: int = 0) -> Non
         param.data = data.astype(param.data.dtype).reshape(param.data.shape)
 
 
+class GradientAveragingSubscriber:
+    """DDP gradient averaging as a gradient-pipeline subscriber.
+
+    Registers one bucket spec per trainable parameter, in reverse parameter
+    order (the order gradients become ready during backward, exactly as
+    ``torch.nn.parallel.DistributedDataParallel`` fills its buckets).  Each
+    spec is gated on the parameter's grad-ready event, its payload applies
+    the pipeline's micro-batch ``grad_scale`` before the allreduce-average —
+    the same scale-then-average ordering as the synchronous path, so results
+    are bitwise identical — and completion installs the averaged gradient
+    back into ``param.grad``.
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+
+    def pipeline_specs(self, pipeline) -> List[GradientBucketSpec]:
+        scale = float(pipeline.grad_scale)
+        params = [p for p in self.model.parameters() if p.requires_grad]
+        specs: List[GradientBucketSpec] = []
+        for index, param in list(enumerate(params))[::-1]:
+
+            def payload(param=param) -> np.ndarray:
+                grad = np.asarray(param.grad, dtype=np.float32)
+                if scale != 1.0:
+                    grad = grad * scale
+                return grad
+
+            def install(reduced: np.ndarray, param=param) -> None:
+                param.grad = reduced.astype(np.float32).reshape(param.data.shape)
+
+            specs.append(
+                GradientBucketSpec(
+                    key=f"grad/{index}",
+                    shape=param.data.shape,
+                    dtype=np.dtype(np.float32),
+                    payload=payload,
+                    on_complete=install,
+                    params=(param,),
+                    # A parameter can accumulate gradients in earlier
+                    # micro-batches yet sit out the final (armed) backward;
+                    # its grad-ready gate then never fires, but the sync path
+                    # still scales and averages it — so must flush().
+                    flush_ready=lambda param=param: param.grad is not None,
+                )
+            )
+        return specs
+
+
 class DistributedDataParallel:
     """Thin wrapper bundling a model replica with its communicator.
 
@@ -132,3 +194,7 @@ class DistributedDataParallel:
     def sync_gradients(self) -> None:
         """Allreduce-average gradients across all ranks (bucketed when configured)."""
         allreduce_gradients(self.module, self.comm, bucket_cap_mb=self.bucket_cap_mb)
+
+    def subscriber(self) -> GradientAveragingSubscriber:
+        """Pipeline subscriber averaging this replica's gradients during backward."""
+        return GradientAveragingSubscriber(self.module)

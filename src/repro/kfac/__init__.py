@@ -22,6 +22,7 @@ from .layers import (
     KFACConv2dLayer,
     KFACEmbeddingLayer,
     KFACLayer,
+    KFACLayerNormLayer,
     KFACLinearLayer,
     make_kfac_layer,
     register_kfac_layer,
@@ -59,6 +60,7 @@ __all__ = [
     "KFACLinearLayer",
     "KFACConv2dLayer",
     "KFACEmbeddingLayer",
+    "KFACLayerNormLayer",
     "make_kfac_layer",
     "register_kfac_layer",
     "registered_kfac_layers",

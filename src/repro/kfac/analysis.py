@@ -261,6 +261,13 @@ class CommSchedule:
     communication time; ``iteration_time`` adds the compute stages and the
     data-parallel gradient allreduce so fused/unfused schedules can be
     compared end to end.
+
+    ``exposed_comm_time`` / ``hidden_comm_time`` split the busiest rank's
+    per-iteration communication into the part left on the critical path and
+    the part hidden behind backward compute.  A ``hooked`` schedule (the
+    backward-hook gradient pipeline) posts the factor allreduces and the
+    data-parallel gradient averaging while backprop still runs, hiding them
+    inside the backward window; step-time schedules expose everything.
     """
 
     strategy: str
@@ -270,6 +277,9 @@ class CommSchedule:
     comm_bytes_per_update: int
     kfac_comm_time: float
     iteration_time: float
+    hooked: bool = False
+    exposed_comm_time: float = 0.0
+    hidden_comm_time: float = 0.0
 
 
 def model_comm_schedule(
@@ -280,6 +290,7 @@ def model_comm_schedule(
     bucket_cap_mb: float = 25.0,
     perf: Optional[PerformanceModel] = None,
     overlap_window_s: float = 0.0,
+    hooked: bool = False,
 ) -> CommSchedule:
     """Model the collective schedule the real engine would issue.
 
@@ -293,14 +304,20 @@ def model_comm_schedule(
     are identical in both schedules; only message counts (alpha terms)
     differ.
 
-    ``overlap_window_s`` optionally credits the fused factor allreduce with
-    compute it could hide behind (:meth:`PerformanceModel.exposed_comm_time`).
-    The shipped engine posts its buckets inside ``KFAC.step()``, *after* the
-    backward pass, so the default of ``0.0`` models what it actually
-    delivers; a positive window prices the planned backward-hook posting
-    (see ROADMAP) where factor buckets fly while backward still computes.
+    ``hooked=True`` models the backward-hook gradient pipeline (which
+    implies the fused engine): the factor allreduces and the data-parallel
+    gradient averaging are posted while backprop still runs, so up to
+    :meth:`PerformanceModel.backward_window` seconds of that traffic are
+    hidden; ``exposed_comm_time``/``hidden_comm_time`` report the split and
+    ``iteration_time`` charges only the exposed part.  Eigen and
+    preconditioned-gradient broadcasts stay inside ``KFAC.step()`` and
+    remain exposed in every schedule.
+
+    ``overlap_window_s`` is the legacy manual knob crediting only the fused
+    factor allreduce with a fixed window; it is ignored when ``hooked``.
     """
     perf = perf if perf is not None else PerformanceModel()
+    fused = bool(fused or hooked)
     strategy = DistributionStrategy(world_size, grad_worker_frac)
     groups = strategy.assign(list(spec.layers))
     comm_opt = strategy.num_grad_workers >= world_size
@@ -313,7 +330,9 @@ def model_comm_schedule(
 
     messages = 0
     comm_bytes = 0
-    # Per-rank amortised communication time for the three K-FAC rounds.
+    # Per-rank amortised time of the step-time broadcast rounds (eigen and
+    # preconditioned gradients); the factor allreduce — the round the hooked
+    # pipeline can hide — is tracked separately in ``factor_per_iter``.
     comm_time = np.zeros(world_size)
 
     # --- factor allreduce (world-wide; every rank participates) ------------
@@ -322,6 +341,7 @@ def model_comm_schedule(
         factor_specs.append((f"{layer.name}/a", (layer.a_dim, layer.a_dim), f_dtype))
         factor_specs.append((f"{layer.name}/g", (layer.g_dim, layer.g_dim), f_dtype))
     factor_time = 0.0
+    factor_per_iter = 0.0
     if world_size > 1:
         if fused:
             for bucket in buckets.build(factor_specs):
@@ -334,9 +354,9 @@ def model_comm_schedule(
                 messages += 1
                 comm_bytes += nbytes
                 factor_time += perf.allreduce_time(nbytes, world_size)
-        if fused and overlap_window_s > 0.0:
+        if fused and not hooked and overlap_window_s > 0.0:
             factor_time = perf.exposed_comm_time(factor_time, overlap_window_s)
-        comm_time += factor_time / f_freq
+        factor_per_iter = factor_time / f_freq
 
     # --- eigen broadcast ----------------------------------------------------
     def packed_eigen_elems(n: int) -> int:
@@ -431,25 +451,42 @@ def model_comm_schedule(
                 for rank in members:
                     comm_time[rank] += duration
 
-    kfac_comm_time = float(np.max(comm_time)) if world_size else 0.0
+    step_comm_max = float(np.max(comm_time)) if world_size else 0.0
 
     # --- end-to-end iteration time: identical compute, differing comm ------
     model = IterationTimeModel(perf)
     breakdown = model.kfac_breakdown(spec, world_size, grad_worker_frac)
-    compute_part = (
+    compute_no_allreduce = (
         breakdown.baseline_compute
-        + breakdown.gradient_allreduce
         + breakdown.factor_compute
         + breakdown.eigen_decomposition
         + breakdown.precondition
         + breakdown.scale_and_update
     )
+    grad_allreduce = breakdown.gradient_allreduce
+    # The rounds a hook-driven schedule posts during backward: the factor
+    # allreduce and the data-parallel gradient averaging.  Step-time rounds
+    # (eigen / preconditioned-gradient broadcasts) are always exposed.
+    overlappable = factor_per_iter + grad_allreduce
+    if hooked:
+        hidden = min(overlappable, perf.backward_window(spec.baseline_compute_time))
+    else:
+        hidden = 0.0
+    exposed = overlappable - hidden + step_comm_max
+    # kfac_comm_time always excludes the data-parallel gradient allreduce so
+    # the field stays comparable across hooked and step-time schedules; the
+    # hidden window is attributed to the factor round proportionally.
+    exposed_fraction = 1.0 - (hidden / overlappable if overlappable > 0.0 else 0.0)
+    kfac_comm_time = factor_per_iter * exposed_fraction + step_comm_max
     return CommSchedule(
         strategy=strategy.name,
         world_size=world_size,
         fused=bool(fused),
         messages_per_update=int(messages),
         comm_bytes_per_update=int(comm_bytes),
-        kfac_comm_time=kfac_comm_time,
-        iteration_time=float(compute_part + kfac_comm_time),
+        kfac_comm_time=float(kfac_comm_time),
+        iteration_time=float(compute_no_allreduce + exposed),
+        hooked=bool(hooked),
+        exposed_comm_time=float(exposed),
+        hidden_comm_time=float(hidden),
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 from ..tensor import PrecisionPolicy
 
@@ -67,8 +67,11 @@ class KFACConfig:
     #: identical to the synchronous path; only the communication schedule
     #: changes.  Default honours the ``REPRO_COMM_OVERLAP`` env toggle.
     comm_overlap: bool = field(default_factory=default_comm_overlap)
-    #: Fused-buffer size cap (MB) used by the engine's bucket manager.
-    bucket_cap_mb: float = 25.0
+    #: Fused-buffer size cap (MB) used by the engine's bucket manager, or the
+    #: string ``"auto"`` to derive the cap from the alpha-beta network model
+    #: and the registered layer shapes at preconditioner construction
+    #: (:func:`repro.distributed.cost_model.choose_bucket_cap`).
+    bucket_cap_mb: Union[float, str] = 25.0
 
     def __post_init__(self) -> None:
         # Canonicalize numeric types first so consumers always see float/int.
@@ -83,9 +86,15 @@ class KFACConfig:
             ("compute_eigen_outer", bool),
             ("triangular_comm", bool),
             ("comm_overlap", bool),
-            ("bucket_cap_mb", float),
         ):
             object.__setattr__(self, name, cast(getattr(self, name)))
+        if isinstance(self.bucket_cap_mb, str):
+            if self.bucket_cap_mb != "auto":
+                raise ValueError(
+                    f"bucket_cap_mb must be a positive number or 'auto', got {self.bucket_cap_mb!r}"
+                )
+        else:
+            object.__setattr__(self, "bucket_cap_mb", float(self.bucket_cap_mb))
         if self.factor_update_freq < 1 or self.inv_update_freq < 1:
             raise ValueError("update frequencies must be >= 1")
         if self.inv_update_freq % self.factor_update_freq != 0:
@@ -103,9 +112,14 @@ class KFACConfig:
             raise ValueError("grad_worker_frac must be in (0, 1]")
         if self.assignment_balance not in ("compute", "memory"):
             raise ValueError("assignment_balance must be 'compute' or 'memory'")
-        if self.bucket_cap_mb <= 0.0:
+        if not isinstance(self.bucket_cap_mb, str) and self.bucket_cap_mb <= 0.0:
             raise ValueError("bucket_cap_mb must be positive")
         PrecisionPolicy.from_name(self.precision)  # raises on unknown names
+
+    @property
+    def bucket_cap_is_auto(self) -> bool:
+        """Whether the fused-buffer cap is derived from the cost model."""
+        return self.bucket_cap_mb == "auto"
 
     # ------------------------------------------------------------- presets
     @classmethod

@@ -4,7 +4,8 @@ Each supported module type gets a handler (``Linear``, ``Conv2d`` per paper
 section 3.4, plus ``Embedding`` as a registered extension) that:
 
 * captures the layer input during the forward pass (module forward hook) and
-  the gradient w.r.t. the layer output during the backward pass (tensor hook),
+  the gradient w.r.t. the layer output during the backward pass (module full
+  backward hook, fired by the autograd tape in reverse-layer order),
 * accumulates the Kronecker factor statistics ``A = a aᵀ`` and ``G = g gᵀ``
   across the mini-batches of a gradient-accumulation window (section 4.2),
 * maintains exponential running averages of the factors (section 2.1.2),
@@ -30,6 +31,7 @@ from ..nn.embedding import Embedding
 from ..nn.functional import im2col
 from ..nn.linear import Linear
 from ..nn.module import Module
+from ..nn.norm import LayerNorm
 from ..tensor import PrecisionPolicy, Tensor
 from .kmath import EigenDecomposition, eigenvalue_outer_product, precondition_with_eigen, symmetric_eigen
 from .strategy import LayerShapeInfo
@@ -39,6 +41,7 @@ __all__ = [
     "KFACLinearLayer",
     "KFACConv2dLayer",
     "KFACEmbeddingLayer",
+    "KFACLayerNormLayer",
     "make_kfac_layer",
     "register_kfac_layer",
     "resolve_kfac_layer",
@@ -128,7 +131,8 @@ class KFACLayer:
         self.eigen_g: Optional[EigenDecomposition] = None
         self.inverse_outer: Optional[np.ndarray] = None
 
-        self._remove_hook = module.register_forward_hook(self._forward_hook)
+        self._forward_handle = module.register_forward_hook(self._forward_hook)
+        self._backward_handle = module.register_full_backward_hook(self._backward_hook)
 
     # --------------------------------------------------------------- shapes
     @property
@@ -150,14 +154,24 @@ class KFACLayer:
             return
         x = inputs[0]
         self._accumulate_a(x.data if isinstance(x, Tensor) else np.asarray(x))
-        if isinstance(output, Tensor) and output.requires_grad:
-            output.register_hook(self._grad_output_hook)
 
-    def _grad_output_hook(self, grad_output: np.ndarray) -> None:
+    def _backward_hook(self, module: Module, grad_input, grad_output) -> None:
+        """Full backward hook: accumulate G statistics from the output gradient.
+
+        Fired by the autograd tape once per backward pass through the module,
+        in reverse-layer order — the same event the gradient pipeline keys
+        its factor buckets on (pipeline triggers are registered after this
+        hook, so the statistics are final when a bucket is posted).
+        """
+        if not module.training or not self._should_accumulate():
+            return
+        grad = grad_output[0]
+        if grad is None:
+            return
         scale = self._grad_scale()
         if scale != 1.0:
-            grad_output = grad_output / scale
-        self._accumulate_g(grad_output)
+            grad = grad / scale
+        self._accumulate_g(grad)
 
     def _accumulate_a(self, x: np.ndarray) -> None:
         raise NotImplementedError
@@ -393,8 +407,9 @@ class KFACLayer:
         return total
 
     def remove(self) -> None:
-        """Detach the forward hook from the wrapped module."""
-        self._remove_hook()
+        """Detach the forward and backward hooks from the wrapped module."""
+        self._forward_handle.remove()
+        self._backward_handle.remove()
 
 
 @register_kfac_layer(Linear)
@@ -547,6 +562,72 @@ class KFACEmbeddingLayer(KFACLayer):
 
     def set_gradient(self, matrix: np.ndarray) -> None:
         self.module.weight.grad = matrix.T.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+
+
+@register_kfac_layer(LayerNorm)
+class KFACLayerNormLayer(KFACLayer):
+    """K-FAC handler for :class:`~repro.nn.norm.LayerNorm` modules (diagonal factors).
+
+    The affine part of layer normalization, ``y_i = w_i * x̂_i + b_i``, is an
+    elementwise scale-and-shift whose Fisher block is diagonal per feature.
+    It is folded into the Kronecker template the same way convolution folds
+    its spatial positions: every ``(sample, feature)`` pair contributes one
+    activation row ``[x̂, 1]`` — giving a dense 2x2 ``A`` factor (the
+    weight/bias homogeneous coordinate) — while the ``G`` statistics are
+    accumulated *only on the diagonal* (per-feature second moments of the
+    output gradient), so no feature-feature cross terms are estimated and the
+    eigen basis of ``G`` stays axis-aligned.  The gradient matrix is the
+    ``(num_features, 2)`` stack of ``[dL/dw, dL/db]`` columns, preconditioned
+    by the standard eigen machinery.
+    """
+
+    @property
+    def a_dim(self) -> int:
+        return 1 + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self.module.normalized_shape
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        # Recompute the normalized activations the affine transform consumes
+        # (the forward hook observes the module *input*, not x-hat).
+        x = np.asarray(x, dtype=np.float32)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = np.mean(centered * centered, axis=-1, keepdims=True)
+        x_hat = centered / np.sqrt(var + self.module.eps)
+        rows = x_hat.reshape(-1, 1)
+        if self.has_bias:
+            ones = np.ones((rows.shape[0], 1), dtype=rows.dtype)
+            rows = np.concatenate([rows, ones], axis=1)
+        self._add_a_stat(rows)
+
+    def _accumulate_g(self, grad_output: np.ndarray) -> None:
+        rows = grad_output.reshape(-1, grad_output.shape[-1])
+        # Undo the 1/N loss averaging, matching the dense handlers.
+        rows = rows * rows.shape[0]
+        squares = np.sum(rows.astype(np.float32) ** 2, axis=0)
+        if self._g_accum is None:
+            self._g_accum = np.zeros((self.g_dim, self.g_dim), dtype=np.float32)
+        np.einsum("ii->i", self._g_accum)[...] += squares  # diagonal view: no cross terms
+        self._g_count += rows.shape[0]
+
+    def get_gradient(self) -> np.ndarray:
+        weight_grad = self.module.weight.grad
+        if weight_grad is None:
+            raise RuntimeError(f"layer {self.name!r} has no weight gradient")
+        columns = [weight_grad.astype(np.float32).reshape(-1, 1)]
+        if self.has_bias:
+            columns.append(self.module.bias.grad.astype(np.float32).reshape(-1, 1))
+        return np.concatenate(columns, axis=1)
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        weight = self.module.weight
+        weight.grad = matrix[:, 0].astype(weight.data.dtype).reshape(weight.shape)
+        if self.has_bias:
+            bias = self.module.bias
+            bias.grad = matrix[:, 1].astype(bias.data.dtype).reshape(bias.shape)
 
 
 def make_kfac_layer(

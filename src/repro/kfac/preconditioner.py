@@ -59,7 +59,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..distributed.backend import Communicator, SingleProcessCommunicator
-from ..distributed.collectives import AllreduceSpec, BroadcastSpec, OverlapScheduler
+from ..distributed.collectives import AllreduceSpec, BroadcastSpec, GradientBucketSpec, OverlapScheduler
+from ..distributed.cost_model import EDR_INFINIBAND, choose_bucket_cap
 from ..nn.module import Module
 from ..tensor import PrecisionPolicy
 from .base import Preconditioner
@@ -67,7 +68,7 @@ from .config import KFACConfig
 from .kmath import kl_clip_scale
 from .layers import KFACLayer, make_kfac_layer
 from .strategy import DistributionStrategy, LayerWorkGroups
-from .triangular import pack_upper_triangle, unpack_upper_triangle
+from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 __all__ = ["KFAC"]
 
@@ -93,7 +94,7 @@ class KFAC(Preconditioner):
         compute_eigen_outer: bool = True,
         triangular_comm: bool = False,
         comm_overlap: Optional[bool] = None,
-        bucket_cap_mb: Optional[float] = None,
+        bucket_cap_mb: Union[float, str, None] = None,
         profiler=None,
         strategy: Optional[DistributionStrategy] = None,
     ) -> None:
@@ -149,8 +150,7 @@ class KFAC(Preconditioner):
         self.compute_eigen_outer = config.compute_eigen_outer
         self.triangular_comm = config.triangular_comm
         self.comm_overlap = config.comm_overlap
-        self.bucket_cap_mb = config.bucket_cap_mb
-        self.scheduler = OverlapScheduler(self.comm, self.bucket_cap_mb) if self.comm_overlap else None
+        self.bucket_cap_mb = config.bucket_cap_mb  # may be the string "auto"
         self.profiler = profiler
         self._base_config = config
 
@@ -169,6 +169,12 @@ class KFAC(Preconditioner):
         self.strategy = strategy
 
         self._steps = 0
+        # Backward-hook pipeline bookkeeping: the step whose factor fold +
+        # allreduce already ran during backward, and the layers folded for
+        # the step currently being assembled (``_pipeline_folded_step``).
+        self._pipeline_factor_step = -1
+        self._pipeline_folded: set = set()
+        self._pipeline_folded_step = -1
         self._skip_ids = {id(m) for m in skip_modules}
         self.layers: Dict[str, KFACLayer] = {}
         self._register_model(model)
@@ -177,6 +183,22 @@ class KFAC(Preconditioner):
         self.groups: Dict[str, LayerWorkGroups] = self.strategy.assign(
             [layer.shape_info() for layer in self.layers.values()]
         )
+        # "auto" sizes the fused-buffer cap from the alpha-beta model and the
+        # registered factor shapes, so it must resolve after registration.
+        self.resolved_bucket_cap_mb = self._resolve_bucket_cap()
+        self.scheduler = OverlapScheduler(self.comm, self.resolved_bucket_cap_mb) if self.comm_overlap else None
+
+    def _resolve_bucket_cap(self) -> float:
+        """The numeric fused-buffer cap (MB) the engine will use."""
+        if self.bucket_cap_mb != "auto":
+            return float(self.bucket_cap_mb)
+        itemsize = np.dtype(self.precision.factor_dtype).itemsize
+        tensor_nbytes = []
+        for layer in self.layers.values():
+            for n in (layer.a_dim, layer.g_dim):
+                elems = triangular_size(n) if self.triangular_comm else n * n
+                tensor_nbytes.append(elems * itemsize)
+        return choose_bucket_cap(EDR_INFINIBAND, tensor_nbytes, world_size=self.comm.world_size)
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -291,7 +313,7 @@ class KFAC(Preconditioner):
         update_factors = self._steps % self.factor_update_freq == 0
         update_eigen = self._steps % self.inv_update_freq == 0
 
-        if update_factors:
+        if update_factors and self._pipeline_factor_step != self._steps:
             with self._profile("factor_compute"):
                 self._update_local_factors()
             with self._profile("factor_allreduce"):
@@ -348,33 +370,15 @@ class KFAC(Preconditioner):
         matrices into fused buckets changes the message count (and hence the
         latency cost) but not a single result bit.  Buckets are posted
         back-to-back via the nonblocking primitives, pipelining the factor
-        traffic instead of serialising one blocking call per tensor.
+        traffic instead of serialising one blocking call per tensor.  The
+        per-layer plan (keys, packing, installation) is owned by the
+        strategy and shared with the backward-hook gradient pipeline.
         """
         specs: List[AllreduceSpec] = []
-        reduced: Dict[str, np.ndarray] = {}
-
-        def collect(key: str):
-            def install(array: np.ndarray) -> None:
-                reduced[key] = array
-
-            return install
-
-        for name, layer in self.layers.items():
-            for which, factor in (("a", layer.factor_a), ("g", layer.factor_g)):
-                payload = pack_upper_triangle(factor) if self.triangular_comm else factor
-                key = f"{name}/factor_{which}"
-                specs.append(AllreduceSpec(key=key, payload=payload, on_complete=collect(key)))
+        for layer in self.layers.values():
+            for key, _shape, _dtype, pack, install in self.strategy.factor_allreduce_entries(layer, self):
+                specs.append(AllreduceSpec(key=key, payload=pack(), on_complete=install))
         self.scheduler.run_allreduces(specs)
-        for name, layer in self.layers.items():
-            result_a = reduced[f"{name}/factor_a"]
-            result_g = reduced[f"{name}/factor_g"]
-            if self.triangular_comm:
-                layer.set_factors(
-                    unpack_upper_triangle(result_a, layer.factor_a.shape[0]),
-                    unpack_upper_triangle(result_g, layer.factor_g.shape[0]),
-                )
-            else:
-                layer.set_factors(result_a, result_g)
 
     # -------------------------------------------------------- stage 2: eigen decomp
     # The placement of the decompositions, which ranks keep them, and every
@@ -447,6 +451,91 @@ class KFAC(Preconditioner):
         for (name, layer), (_, precond) in zip(self.layers.items(), pairs):
             layer.set_gradient(precond * nu)
 
+    # ------------------------------------- backward-hook pipeline subscription
+    # KFAC is a GradientPipeline subscriber: on factor-update iterations it
+    # registers one bucket spec per Kronecker factor, gated on the owning
+    # module's full-backward event.  The payload lazily folds the layer's
+    # accumulated forward/backward window into the running factors (once per
+    # layer) and returns the factor to allreduce, so a layer's factor traffic
+    # is posted the moment *its* backward completes — while earlier layers
+    # are still backpropagating.  After the pipeline drains, KFAC.step()
+    # skips its factor stages for that iteration; everything else (eigen,
+    # precondition, broadcasts) is unchanged and bitwise identical.
+    def pipeline_specs(self, pipeline) -> List[GradientBucketSpec]:
+        """Factor-allreduce bucket specs for this iteration (pipeline subscriber API)."""
+        if pipeline.comm is not self.comm and (pipeline.comm.world_size > 1 or self.comm.world_size > 1):
+            # Distinct world_size-1 communicators are harmless (collectives
+            # are local no-ops); distinct multi-rank ones would desync the
+            # per-group collective ordering, so reject them.
+            raise ValueError(
+                "GradientPipeline and KFAC must share one communicator; posting the factor "
+                "allreduces on a different communicator would desynchronize collective ordering"
+            )
+        if self._pipeline_folded_step != self._steps:
+            # Fold state is per optimization step, not per arm: a re-armed
+            # (retried) step must not fold its window — and apply
+            # factor_decay — a second time; already-folded layers simply
+            # repost their factors via flush_ready.
+            self._pipeline_folded = set()
+            self._pipeline_folded_step = self._steps
+        if self._steps % self.factor_update_freq != 0:
+            return []
+        specs: List[GradientBucketSpec] = []
+        # Reverse registration order: the last layers' backward events fire
+        # first, so their factor buckets fill (and post) earliest.
+        for name in reversed(list(self.layers)):
+            layer = self.layers[name]
+            for key, shape, dtype, pack, install in self.strategy.factor_allreduce_entries(layer, self):
+
+                def payload(layer=layer, pack=pack) -> np.ndarray:
+                    self._fold_layer_window(layer)
+                    return pack()
+
+                specs.append(
+                    GradientBucketSpec(
+                        key=f"kfac/{key}",
+                        shape=shape,
+                        dtype=dtype,
+                        payload=payload,
+                        on_complete=install,
+                        modules=(layer.module,),
+                        # A layer skipped by the final micro-batch still has a
+                        # window of statistics from earlier ones; fold and
+                        # allreduce it at flush exactly as step() would.
+                        flush_ready=lambda layer=layer: (
+                            id(layer) in self._pipeline_folded or layer.has_accumulated_data
+                        ),
+                    )
+                )
+        return specs
+
+    def _fold_layer_window(self, layer: KFACLayer) -> None:
+        """Fold one layer's accumulated statistics into its running factors (once)."""
+        if id(layer) in self._pipeline_folded:
+            return
+        if not layer.has_accumulated_data:
+            raise RuntimeError(
+                f"layer {layer.name!r} has no forward/backward statistics for this factor update; "
+                "ensure the forward and backward passes ran in training mode before KFAC.step()"
+            )
+        a_new, g_new = layer.compute_batch_factors()
+        layer.update_factors(a_new, g_new, self.factor_decay)
+        self._pipeline_folded.add(id(layer))
+
+    def on_pipeline_flush(self, pipeline) -> None:
+        """Mark this iteration's factor stages complete once the pipeline drained."""
+        if self._steps % self.factor_update_freq != 0:
+            return
+        if len(self._pipeline_folded) != len(self.layers):
+            missing = [
+                name for name, layer in self.layers.items() if id(layer) not in self._pipeline_folded
+            ]
+            raise RuntimeError(
+                f"gradient pipeline flushed but layers {missing} produced no backward event; "
+                "their factor windows were never folded or allreduced"
+            )
+        self._pipeline_factor_step = self._steps
+
     # ------------------------------------------------------------------- state
     def state_dict(self) -> Dict[str, Any]:
         """This rank's complete mutable preconditioner state.
@@ -485,6 +574,12 @@ class KFAC(Preconditioner):
         for name, layer in self.layers.items():
             layer.load_state_dict(layer_states[name])
         self._steps = int(state["steps"])
+        # Pipeline bookkeeping refers to this instance's own history, not the
+        # checkpoint's: after a restore the next step() must run its factor
+        # stages itself unless the pipeline runs them again.
+        self._pipeline_factor_step = -1
+        self._pipeline_folded = set()
+        self._pipeline_folded_step = -1
 
     # ------------------------------------------------------------------- memory
     def memory_usage(self) -> Dict[str, int]:
@@ -501,3 +596,6 @@ class KFAC(Preconditioner):
             layer.factor_g = None
             layer.clear_eigen()
         self._steps = 0
+        self._pipeline_factor_step = -1
+        self._pipeline_folded = set()
+        self._pipeline_folded_step = -1

@@ -37,6 +37,7 @@ import numpy as np
 from ..distributed.collectives import BroadcastSpec
 from .assignment import greedy_lpt_assignment
 from .kmath import EigenDecomposition, eigenvalue_outer_product, symmetric_eigen
+from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from ..distributed.backend import Communicator
@@ -303,6 +304,58 @@ class DistributionStrategy:
     ) -> Optional[np.ndarray]:
         """Send one layer's preconditioned gradient from its worker(s) to this rank."""
         raise NotImplementedError
+
+    # ---------------------------------------------------- factor allreduces
+    def factor_allreduce_entries(
+        self, layer: "KFACLayer", pre: "KFAC"
+    ) -> List[Tuple[str, Tuple[int, ...], np.dtype, Callable[[], np.ndarray], Callable[[np.ndarray], None]]]:
+        """Per-layer factor-allreduce plan: ``(key, shape, dtype, pack, install)``.
+
+        The base plan allreduce-averages both Kronecker factors over the
+        whole world, honoring ``pre.triangular_comm`` packing — shared by the
+        ``KFAC.step()``-time fused schedule and the backward-hook gradient
+        pipeline, which differ only in *when* the entries are posted.
+        ``pack`` reads the layer's current running factor at posting time;
+        ``install`` collects both reduced factors and writes them back via
+        :meth:`KFACLayer.set_factors` once the pair arrived.  A
+        topology-aware strategy can override this to route factor traffic
+        over sub-groups.
+        """
+        dtype = np.dtype(pre.precision.factor_dtype)
+        received: Dict[str, np.ndarray] = {}
+
+        def make_pack(which: str) -> Callable[[], np.ndarray]:
+            def pack() -> np.ndarray:
+                factor = layer.factor_a if which == "a" else layer.factor_g
+                if factor is None:
+                    raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor to allreduce")
+                return pack_upper_triangle(factor) if pre.triangular_comm else factor
+
+            return pack
+
+        def make_install(which: str) -> Callable[[np.ndarray], None]:
+            def install(array: np.ndarray) -> None:
+                received[which] = array
+                if len(received) == 2:
+                    result_a, result_g = received["a"], received["g"]
+                    if pre.triangular_comm:
+                        layer.set_factors(
+                            unpack_upper_triangle(result_a, layer.a_dim),
+                            unpack_upper_triangle(result_g, layer.g_dim),
+                        )
+                    else:
+                        layer.set_factors(result_a, result_g)
+                    received.clear()
+
+            return install
+
+        entries = []
+        for which, n in (("a", layer.a_dim), ("g", layer.g_dim)):
+            shape = (triangular_size(n),) if pre.triangular_comm else (n, n)
+            entries.append(
+                (f"{layer.name}/factor_{which}", shape, dtype, make_pack(which), make_install(which))
+            )
+        return entries
 
     # ------------------------------------------- fused (overlap-engine) plan
     # When `KFACConfig.comm_overlap` is on, the preconditioner collects one

@@ -16,7 +16,7 @@ from .loss import (
     MSELoss,
     dice_coefficient,
 )
-from .module import Module, Parameter
+from .module import Module, Parameter, RemovableHandle
 from .norm import BatchNorm2d, LayerNorm
 from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 
@@ -25,6 +25,7 @@ __all__ = [
     "init",
     "Module",
     "Parameter",
+    "RemovableHandle",
     "Linear",
     "Conv2d",
     "Upsample2d",

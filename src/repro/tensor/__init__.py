@@ -10,11 +10,12 @@ from .dtypes import (
     resolve_dtype,
     set_default_dtype,
 )
-from .tensor import Function, Tensor, is_grad_enabled, no_grad
+from .tensor import Function, RemovableHandle, Tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor",
     "Function",
+    "RemovableHandle",
     "no_grad",
     "is_grad_enabled",
     "PrecisionPolicy",

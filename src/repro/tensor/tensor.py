@@ -4,9 +4,14 @@ This is the framework substrate for the KAISA reproduction.  The design
 mirrors the parts of PyTorch that K-FAC relies on:
 
 * a ``Tensor`` that records the operation (``Function``) that produced it,
-* ``Tensor.backward()`` that walks the tape in reverse topological order,
-* ``Tensor.register_hook`` so a preconditioner can capture the gradient with
-  respect to a layer *output* (the ``g`` in the Kronecker factor ``G = g gᵀ``),
+* ``Tensor.backward()`` that executes the tape dependency-driven (a node runs
+  once all of its consumers have contributed, as in PyTorch's engine), so
+  leaf gradients finalize eagerly in reverse-layer order,
+* ``Tensor.register_hook`` observing a tensor's incoming gradient (the ``g``
+  in the Kronecker factor ``G = g gᵀ`` is captured one level up, via
+  ``Module.register_full_backward_hook``), and
+  ``Tensor.register_grad_ready_hook`` announcing a finalized leaf gradient —
+  the event the gradient pipeline posts communication buckets on,
 * a ``no_grad`` context manager used for evaluation and factor bookkeeping.
 
 Only floating point dtypes are supported; integer inputs (e.g. token ids or
@@ -16,15 +21,57 @@ class labels) are passed around as plain numpy arrays.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence
+import itertools
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from .dtypes import get_default_dtype, resolve_dtype
 
-__all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "Function", "RemovableHandle", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
+
+#: Monotonic ids shared by every hook collection (tensor and module level), so
+#: a handle can never collide with another registration anywhere in a process.
+_HOOK_IDS = itertools.count()
+
+
+class RemovableHandle:
+    """Removal handle for one hook registration.
+
+    Every registration gets its own entry in the owner's hook dict, so the
+    same callable registered twice yields two distinct handles (removing one
+    leaves the other installed), and ``remove()`` is idempotent: it deletes
+    only this registration's entry and is a no-op on repeat calls.  The handle
+    is also callable (``handle()`` == ``handle.remove()``) for backward
+    compatibility with the old closure-style removal API.
+    """
+
+    __slots__ = ("_hooks", "hook_id")
+
+    def __init__(self, hooks: "Dict[int, Callable]") -> None:
+        self._hooks = hooks
+        self.hook_id = next(_HOOK_IDS)
+
+    def remove(self) -> None:
+        self._hooks.pop(self.hook_id, None)
+
+    def __call__(self) -> None:
+        self.remove()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "removed" if self.hook_id not in self._hooks else "active"
+        return f"RemovableHandle(id={self.hook_id}, {state})"
+
+
+def _register_hook(hooks: "Dict[int, Callable]", hook: Callable) -> RemovableHandle:
+    """Insert ``hook`` into an ordered hook dict and return its handle."""
+    if not callable(hook):
+        raise TypeError(f"hook must be callable, got {type(hook).__name__}")
+    handle = RemovableHandle(hooks)
+    hooks[handle.hook_id] = hook
+    return handle
 
 
 @contextlib.contextmanager
@@ -95,7 +142,7 @@ class Function:
 class Tensor:
     """N-dimensional array with reverse-mode autograd support."""
 
-    __slots__ = ("data", "requires_grad", "grad", "_ctx", "_hooks")
+    __slots__ = ("data", "requires_grad", "grad", "_ctx", "_hooks", "_grad_ready_hooks", "__weakref__")
     __array_priority__ = 100.0  # numpy defers binary ops to Tensor
 
     def __init__(self, data, requires_grad: bool = False, dtype=None, _copy: bool = True):
@@ -115,7 +162,10 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._ctx: Optional[Function] = None
-        self._hooks: list[Callable[[np.ndarray], None]] = []
+        # Hook dicts are allocated lazily: most tensors never carry hooks and
+        # tensor construction is on the hot path of every traced operation.
+        self._hooks: Optional[Dict[int, Callable[[np.ndarray], None]]] = None
+        self._grad_ready_hooks: Optional[Dict[int, Callable[["Tensor"], None]]] = None
 
     # ------------------------------------------------------------------ meta
     @property
@@ -164,9 +214,31 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def register_hook(self, hook: Callable[[np.ndarray], None]) -> None:
-        """Register ``hook(grad)`` to be called when this tensor's gradient is computed."""
-        self._hooks.append(hook)
+    def register_hook(self, hook: Callable[[np.ndarray], None]) -> RemovableHandle:
+        """Register ``hook(grad)`` called when this tensor's *incoming* gradient is computed.
+
+        The hook observes the raw upstream gradient before it is accumulated
+        into ``.grad`` (for leaves) or propagated to parents.  Returns a
+        :class:`RemovableHandle`.
+        """
+        if self._hooks is None:
+            self._hooks = {}
+        return _register_hook(self._hooks, hook)
+
+    def register_grad_ready_hook(self, hook: Callable[["Tensor"], None]) -> RemovableHandle:
+        """Register ``hook(tensor)`` fired when this *leaf* tensor's gradient is finalized.
+
+        The autograd tape calls the hook once per ``backward()`` pass, after
+        every contribution flowing through the graph has been summed into
+        ``.grad`` — so under gradient accumulation the hook observes the
+        running total including earlier micro-batches (accumulation-aware).
+        This is the event the :class:`~repro.training.pipeline.GradientPipeline`
+        uses to post communication buckets while backprop is still running.
+        Returns a :class:`RemovableHandle`.
+        """
+        if self._grad_ready_hooks is None:
+            self._grad_ready_hooks = {}
+        return _register_hook(self._grad_ready_hooks, hook)
 
     # -------------------------------------------------------------- backward
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -197,30 +269,69 @@ class Tensor:
                     if parent.requires_grad and id(parent) not in visited:
                         stack.append((parent, False))
 
+        # Dependency-driven execution: a node runs its local backward as soon
+        # as every consumer has contributed its share of the incoming
+        # gradient (consumer-edge counting, as in PyTorch's engine) instead
+        # of at its position in a global post-order walk.  A leaf's gradient
+        # is therefore *finalized* — accumulated into ``.grad`` and announced
+        # through its grad-ready hooks — the moment the owning layer's local
+        # backward completes, in reverse-layer order, while earlier layers
+        # are still backpropagating.  The gradient pipeline relies on exactly
+        # this to overlap communication with the rest of the backward pass.
+        # Scheduling is a deterministic function of the graph structure, so
+        # every data-parallel rank observes the identical event order.
+        consumers: dict[int, int] = {}
+        for node in topo:
+            if node._ctx is not None:
+                for parent in node._ctx.parents:
+                    if parent.requires_grad and id(parent) in visited:
+                        consumers[id(parent)] = consumers.get(id(parent), 0) + 1
+
+        def finalize_leaf(leaf: "Tensor", leaf_grad: np.ndarray) -> None:
+            if leaf._hooks:
+                for hook in tuple(leaf._hooks.values()):
+                    hook(leaf_grad)
+            if leaf.grad is None:
+                leaf.grad = leaf_grad.astype(leaf.data.dtype, copy=True)
+            else:
+                leaf.grad = leaf.grad + leaf_grad.astype(leaf.data.dtype)
+            if leaf._grad_ready_hooks:
+                for hook in tuple(leaf._grad_ready_hooks.values()):
+                    hook(leaf)
+
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo):
+        ready: list[Tensor] = [self]
+        while ready:
+            node = ready.pop()
             node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            for hook in node._hooks:
-                hook(node_grad)
             if node._ctx is None:
-                # Leaf tensor: accumulate.
-                if node.grad is None:
-                    node.grad = node_grad.astype(node.data.dtype, copy=True)
-                else:
-                    node.grad = node.grad + node_grad.astype(node.data.dtype)
+                if node_grad is not None:
+                    finalize_leaf(node, node_grad)
                 continue
-            parent_grads = node._ctx.backward(node_grad)
-            if not isinstance(parent_grads, tuple):
-                parent_grads = (parent_grads,)
+            if node_grad is None:
+                # Every consumer contributed None; still release the parents.
+                parent_grads: tuple = (None,) * len(node._ctx.parents)
+            else:
+                if node._hooks:
+                    for hook in tuple(node._hooks.values()):
+                        hook(node_grad)
+                parent_grads = node._ctx.backward(node_grad)
+                if not isinstance(parent_grads, tuple):
+                    parent_grads = (parent_grads,)
             for parent, pgrad in zip(node._ctx.parents, parent_grads):
-                if pgrad is None or not parent.requires_grad:
+                if not parent.requires_grad:
                     continue
-                if id(parent) in grads:
-                    grads[id(parent)] = grads[id(parent)] + pgrad
-                else:
-                    grads[id(parent)] = pgrad
+                pid = id(parent)
+                if pid not in consumers:
+                    continue
+                remaining = consumers[pid] = consumers[pid] - 1
+                if pgrad is not None:
+                    if pid in grads:
+                        grads[pid] = grads[pid] + pgrad
+                    else:
+                        grads[pid] = pgrad
+                if remaining == 0:
+                    ready.append(parent)
 
     # ------------------------------------------------------------ arithmetic
     def __add__(self, other) -> "Tensor":

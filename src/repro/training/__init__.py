@@ -1,4 +1,4 @@
-"""Training loops, metrics and convergence bookkeeping."""
+"""Training loops, the hook-driven gradient pipeline, metrics and convergence bookkeeping."""
 
 from .convergence import CurvePoint, TrainingCurve
 from .metrics import (
@@ -8,10 +8,13 @@ from .metrics import (
     masked_lm_accuracy,
     segmentation_dice,
 )
+from .pipeline import GradientPipeline, default_hook_pipeline
 from .trainer import Trainer
 
 __all__ = [
     "Trainer",
+    "GradientPipeline",
+    "default_hook_pipeline",
     "TrainingCurve",
     "CurvePoint",
     "classification_accuracy",

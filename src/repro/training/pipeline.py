@@ -1,0 +1,299 @@
+"""Hook-driven gradient pipeline: communication posted while backward runs.
+
+The paper's scalability claim is that KAISA hides its communication behind
+backprop.  PR 2's engine could *fuse and pipeline* collectives, but it only
+posted them once ``allreduce_gradients`` / ``KFAC.step()`` ran — after the
+backward pass had already finished.  :class:`GradientPipeline` closes that
+gap using the module/parameter event API of :mod:`repro.nn.module` and
+:mod:`repro.tensor`:
+
+* subscribers (DDP-style gradient averaging, K-FAC factor allreduces)
+  register :class:`~repro.distributed.collectives.GradientBucketSpec` lists
+  when the pipeline is **armed** for an optimization step;
+* the pipeline plans deterministic, ``bucket_cap_mb``-capped fused buckets
+  over those specs (every rank builds the identical plan) and registers
+  grad-ready hooks on the gating parameters plus full backward hooks on the
+  gating modules;
+* as the autograd tape finalizes gradients — in reverse-layer order — each
+  bucket whose events have all fired is posted immediately through the
+  :class:`~repro.distributed.collectives.OverlapScheduler`, so collectives
+  fly while backprop is still computing earlier layers;
+* :meth:`flush` posts any remaining buckets, drains the scheduler, removes
+  the per-step hooks and notifies subscribers — the single synchronization
+  point the :class:`~repro.training.trainer.Trainer` awaits before
+  ``optimizer.step()``.
+
+Bucket *payloads* are callables evaluated at posting time, so a subscriber
+can fold statistics lazily (K-FAC folds a layer's factor window inside the
+payload of the first factor bucket that needs it).  All collectives are
+elementwise allreduce-averages over deterministic schedules, so the hooked
+path is bitwise identical to the synchronous `allreduce_gradients` +
+``KFAC.step()``-time paths.
+
+Gradient accumulation: hooks fire once per micro-batch backward, but the
+pipeline is armed only for the *final* micro-batch, so every bucket is
+posted exactly once per optimization step, carrying the accumulated (and
+micro-batch-scaled) gradients.
+
+Setting ``REPRO_HOOK_PIPELINE=1`` makes every :class:`Trainer` construct and
+drive a pipeline by default (the CI hook-pipeline matrix entry).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributed.backend import Communicator, SingleProcessCommunicator
+from ..distributed.collectives import AllreduceSpec, GradientBucketSpec, OverlapScheduler, TensorBucket
+from ..tensor import Tensor, is_grad_enabled
+
+__all__ = ["GradientPipeline", "default_hook_pipeline"]
+
+
+def default_hook_pipeline() -> bool:
+    """Default for the Trainer's ``pipeline="auto"``, overridable via environment.
+
+    Setting ``REPRO_HOOK_PIPELINE=1`` (or ``true``/``yes``/``on``) makes every
+    :class:`~repro.training.trainer.Trainer` drive a :class:`GradientPipeline`
+    — used by CI to run the whole suite through the hook-driven path.
+    """
+    return os.environ.get("REPRO_HOOK_PIPELINE", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class _PlannedSpec:
+    """One subscriber spec plus its unfired gate ids."""
+
+    __slots__ = ("spec", "pending")
+
+    def __init__(self, spec: GradientBucketSpec, pending: set) -> None:
+        self.spec = spec
+        self.pending = pending
+
+    @property
+    def ready(self) -> bool:
+        return not self.pending
+
+
+class _PlannedBucket:
+    """A fused bucket of the step plan, posted once all member gates fire."""
+
+    __slots__ = ("bucket", "specs", "posted")
+
+    def __init__(self, bucket: TensorBucket, specs: List[_PlannedSpec]) -> None:
+        self.bucket = bucket
+        self.specs = specs
+        self.posted = False
+
+    @property
+    def fully_ready(self) -> bool:
+        return all(spec.ready for spec in self.specs)
+
+
+class GradientPipeline:
+    """Posts subscriber communication buckets as gradients become ready.
+
+    Parameters
+    ----------
+    model:
+        The module whose backward pass drives the events (kept for
+        introspection; gating objects come from the subscribers' specs).
+    comm:
+        Communicator shared by every subscriber's collectives.  Defaults to
+        the single-process communicator.
+    bucket_cap_mb:
+        Fused-buffer cap handed to the :class:`OverlapScheduler`'s bucket
+        manager (the DDP ``bucket_cap_mb`` analogue).
+    """
+
+    def __init__(self, model, comm: Optional[Communicator] = None, bucket_cap_mb: float = 25.0) -> None:
+        self.model = model
+        self.comm = comm if comm is not None else SingleProcessCommunicator()
+        self.scheduler = OverlapScheduler(self.comm, bucket_cap_mb)
+        self.subscribers: List[object] = []
+        self.grad_scale: float = 1.0
+        self._armed = False
+        self._plan: List[_PlannedBucket] = []
+        # gate id -> [(planned bucket, planned spec), ...]
+        self._gates: Dict[int, List[Tuple[_PlannedBucket, _PlannedSpec]]] = {}
+        self._hook_handles: List = []
+        #: Buckets posted from backward events vs. at flush() — the former is
+        #: the communication that genuinely overlapped the backward pass.
+        self.stats = {"buckets_posted_in_backward": 0, "buckets_posted_at_flush": 0}
+
+    @property
+    def bucket_cap_mb(self) -> float:
+        return self.scheduler.buckets.bucket_cap_mb
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    # ---------------------------------------------------------- subscription
+    def add_subscriber(self, subscriber) -> None:
+        """Register a subscriber.
+
+        A subscriber provides ``pipeline_specs(pipeline) ->
+        Sequence[GradientBucketSpec]`` (called at every :meth:`arm`; may
+        return an empty list for steps with nothing to communicate) and may
+        provide ``on_pipeline_flush(pipeline)``, called after :meth:`flush`
+        has drained all collectives.
+        """
+        if not hasattr(subscriber, "pipeline_specs"):
+            raise TypeError(
+                f"{type(subscriber).__name__} is not a pipeline subscriber: "
+                "it must define pipeline_specs(pipeline)"
+            )
+        self.subscribers.append(subscriber)
+
+    # ------------------------------------------------------------------- arm
+    def arm(self, grad_scale: float = 1.0) -> None:
+        """Prepare the bucket plan for the *final* backward of this step.
+
+        ``grad_scale`` is the micro-batch averaging factor (``1/n`` under
+        gradient accumulation) subscribers fold into their payloads.  Arm
+        immediately before the last micro-batch's forward pass; earlier
+        micro-batches run un-armed, so their hook events post nothing.
+        Re-arming an armed pipeline discards the stale plan (and any
+        collectives it already posted) first.
+        """
+        if self._armed:
+            self._disarm()
+            self.scheduler.discard()
+        self.grad_scale = float(grad_scale)
+        self.stats = {"buckets_posted_in_backward": 0, "buckets_posted_at_flush": 0}
+        self._plan = []
+        self._gates = {}
+        gate_objects: Dict[int, Tuple[object, str]] = {}
+        for subscriber in self.subscribers:
+            specs = list(subscriber.pipeline_specs(self))
+            if not specs:
+                continue
+            planned = [
+                _PlannedSpec(spec, {id(gate) for gate in (*spec.params, *spec.modules)}) for spec in specs
+            ]
+            for spec in specs:
+                for param in spec.params:
+                    gate_objects.setdefault(id(param), (param, "param"))
+                for module in spec.modules:
+                    gate_objects.setdefault(id(module), (module, "module"))
+            by_key = {p.spec.key: p for p in planned}
+            if len(by_key) != len(planned):
+                raise ValueError(f"duplicate pipeline spec keys from {type(subscriber).__name__}")
+            # Per-subscriber bucket plan: deterministic greedy fusion in the
+            # order the subscriber emitted its specs (reverse-layer order by
+            # convention, matching gradient readiness during backward).
+            for bucket in self.scheduler.buckets.build(
+                [(p.spec.key, p.spec.shape, p.spec.dtype) for p in planned]
+            ):
+                bucket_specs = [by_key[entry.key] for entry in bucket.entries]
+                planned_bucket = _PlannedBucket(bucket, bucket_specs)
+                self._plan.append(planned_bucket)
+                for planned_spec in bucket_specs:
+                    for gate in planned_spec.pending:
+                        self._gates.setdefault(gate, []).append((planned_bucket, planned_spec))
+        # One readiness hook per distinct gating object.  A parameter's
+        # grad-ready event already fires only once its *last* consumer
+        # contributed (the tape counts consumer edges), but a module invoked
+        # several times in one forward (weight sharing, recurrence) emits one
+        # backward event per invocation — and only after the last of them are
+        # e.g. K-FAC's G statistics complete.  So module gates are counted: a
+        # forward hook tallies the qualifying calls made while armed, and the
+        # gate fires on the matching backward event.
+        for gate_id, (obj, kind) in gate_objects.items():
+            if kind == "param":
+                self._hook_handles.append(
+                    obj.register_grad_ready_hook(
+                        lambda tensor, gate_id=gate_id: self._gate_fired(gate_id)
+                    )
+                )
+            else:
+                counts = {"expected": 0, "seen": 0}
+
+                def on_forward(module, inputs, output, counts=counts) -> None:
+                    if isinstance(output, Tensor) and output.requires_grad and is_grad_enabled():
+                        counts["expected"] += 1
+
+                def on_backward(module, grad_input, grad_output, gate_id=gate_id, counts=counts) -> None:
+                    counts["seen"] += 1
+                    if counts["seen"] == counts["expected"]:
+                        self._gate_fired(gate_id)
+
+                self._hook_handles.append(obj.register_forward_hook(on_forward))
+                self._hook_handles.append(obj.register_full_backward_hook(on_backward))
+        self._armed = True
+
+    # ---------------------------------------------------------------- events
+    def _gate_fired(self, gate_id: int) -> None:
+        if not self._armed:
+            return
+        for planned_bucket, planned_spec in self._gates.get(gate_id, ()):
+            planned_spec.pending.discard(gate_id)
+            if not planned_bucket.posted and planned_bucket.fully_ready:
+                self._post(planned_bucket, [spec.spec for spec in planned_bucket.specs])
+                self.stats["buckets_posted_in_backward"] += 1
+
+    def _post(self, planned_bucket: _PlannedBucket, specs: Sequence[GradientBucketSpec]) -> None:
+        self.scheduler.post_allreduces(
+            [
+                AllreduceSpec(key=spec.key, payload=spec.payload(), on_complete=spec.on_complete)
+                for spec in specs
+            ]
+        )
+        planned_bucket.posted = True
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> None:
+        """Post remaining buckets, drain all collectives and notify subscribers.
+
+        Buckets whose events all fired during backward were already posted.
+        Anything left is posted here with the members that are safe to send:
+        specs whose gates fired, plus specs whose gates never fired but whose
+        ``flush_ready`` predicate confirms the payload is valid anyway (e.g.
+        a parameter that accumulated gradients in an earlier micro-batch but
+        sat out the final one — the synchronous path averages it too).  Specs
+        that are neither are dropped, mirroring the synchronous path's
+        skip-parameters-without-gradients rule.
+        """
+        if not self._armed:
+            raise RuntimeError("GradientPipeline.flush() called without a matching arm()")
+        for planned_bucket in self._plan:
+            if planned_bucket.posted:
+                continue
+            ready = [
+                spec.spec
+                for spec in planned_bucket.specs
+                if spec.ready or (spec.spec.flush_ready is not None and spec.spec.flush_ready())
+            ]
+            if ready:
+                self._post(planned_bucket, ready)
+                self.stats["buckets_posted_at_flush"] += 1
+        self.scheduler.drain()
+        self._disarm()
+        for subscriber in self.subscribers:
+            on_flush = getattr(subscriber, "on_pipeline_flush", None)
+            if on_flush is not None:
+                on_flush(self)
+
+    def _disarm(self) -> None:
+        for handle in self._hook_handles:
+            handle.remove()
+        self._hook_handles = []
+        self._plan = []
+        self._gates = {}
+        self._armed = False
+
+    def abort(self) -> None:
+        """Drop an armed plan and discard anything already posted (error recovery).
+
+        Buckets launched mid-backward before the failure are waited out and
+        their results thrown away — never dispatched to callbacks — so a
+        subsequent ``arm()``/``flush()`` starts from a clean scheduler.  In a
+        multi-rank program every rank must abort (or otherwise match the
+        posted collectives) symmetrically, as with any SPMD error recovery.
+        """
+        if self._armed:
+            self._disarm()
+        self.scheduler.discard()

@@ -47,11 +47,16 @@ class TestConstruction:
         pre_all = KFAC(model)
         pre_skipped = KFAC(model, skip_modules=model.kfac_excluded_modules())
         # The exclusions are the MLM head (Linear) and the token/position
-        # embeddings (Embedding is a registered layer type).
+        # embeddings (Embedding is a registered layer type).  The embedding
+        # LayerNorm is *not* excluded: LayerNorm is a registered layer type
+        # and only the embedding tables / head are on the skip list.
         assert len(pre_skipped.layers) == len(pre_all.layers) - 3
         assert all("mlm_head" not in name for name in pre_skipped.layers)
-        assert all("embedding" not in name for name in pre_skipped.layers)
-        assert any("embedding" in name for name in pre_all.layers)
+        assert all(
+            not isinstance(layer.module, nn.Embedding) for layer in pre_skipped.layers.values()
+        )
+        assert any(isinstance(layer.module, nn.Embedding) for layer in pre_all.layers.values())
+        assert any(isinstance(layer.module, nn.LayerNorm) for layer in pre_skipped.layers.values())
 
     def test_model_without_supported_layers_raises(self):
         with pytest.raises(ValueError):

@@ -129,6 +129,183 @@ class TestHooks:
         net(Tensor(np.ones((1, 4), dtype=np.float32)))
         assert order == ["a", "b"]
 
+    def test_removal_is_idempotent(self):
+        net = TinyNet()
+        calls = []
+        handle_a = net.fc1.register_forward_hook(lambda m, i, o: calls.append("a"))
+        handle_b = net.fc1.register_forward_hook(lambda m, i, o: calls.append("b"))
+        handle_a.remove()
+        handle_a.remove()  # second removal must not drop another registration
+        handle_a()
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert calls == ["b"]
+        handle_b.remove()
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert calls == ["b"]
+
+    def test_duplicate_registrations_are_distinct(self):
+        net = TinyNet()
+        calls = []
+
+        def hook(m, i, o):
+            calls.append(1)
+
+        first = net.fc1.register_forward_hook(hook)
+        second = net.fc1.register_forward_hook(hook)
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert len(calls) == 2
+        first.remove()  # removes only its own registration, not the twin's
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert len(calls) == 3
+        second.remove()
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert len(calls) == 3
+
+    def test_removal_during_iteration_is_safe(self):
+        net = TinyNet()
+        calls = []
+        handles = {}
+
+        def self_removing(m, i, o):
+            calls.append("self")
+            handles["self"].remove()
+
+        handles["self"] = net.fc1.register_forward_hook(self_removing)
+        net.fc1.register_forward_hook(lambda m, i, o: calls.append("after"))
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        # Both hooks ran this pass despite the mid-iteration removal...
+        assert calls == ["self", "after"]
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        # ...and the removed one is gone on the next pass.
+        assert calls == ["self", "after", "after"]
+
+    def test_non_callable_hook_rejected(self):
+        net = TinyNet()
+        with pytest.raises(TypeError):
+            net.fc1.register_forward_hook("not-a-hook")
+
+
+class TestFullBackwardHooks:
+    def _run(self, net, batch=2):
+        out = net(Tensor(np.ones((batch, 4), dtype=np.float32)))
+        out.sum().backward()
+        return out
+
+    def test_hook_receives_grad_output_and_grad_input(self):
+        net = TinyNet()
+        events = []
+        net.fc2.register_full_backward_hook(
+            lambda module, grad_input, grad_output: events.append((module, grad_input, grad_output))
+        )
+        self._run(net)
+        assert len(events) == 1
+        module, grad_input, grad_output = events[0]
+        assert module is net.fc2
+        assert grad_output[0].shape == (2, 2)
+        np.testing.assert_allclose(grad_output[0], 1.0)
+        # fc2's input is fc1's (ReLU'd) activation, which requires grad.
+        assert len(grad_input) == 1 and grad_input[0].shape == (2, 8)
+
+    def test_grad_input_none_for_non_grad_inputs(self):
+        net = TinyNet()
+        events = []
+        net.fc1.register_full_backward_hook(lambda m, gi, go: events.append(gi))
+        self._run(net)
+        # The data input does not require grad -> no grad_input entry value.
+        assert events == [(None,)]
+
+    def test_hooks_fire_in_reverse_layer_order(self):
+        net = TinyNet()
+        order = []
+        net.fc1.register_full_backward_hook(lambda m, gi, go: order.append("fc1"))
+        net.fc2.register_full_backward_hook(lambda m, gi, go: order.append("fc2"))
+        self._run(net)
+        assert order == ["fc2", "fc1"]
+
+    def test_fires_once_per_backward(self):
+        net = TinyNet()
+        count = []
+        net.fc1.register_full_backward_hook(lambda m, gi, go: count.append(1))
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        out = net(x).sum()
+        out.backward()
+        out.backward()  # a second backward over the same graph fires again
+        assert len(count) == 2
+
+    def test_no_fire_without_backward_or_in_no_grad(self):
+        from repro.tensor import no_grad
+
+        net = TinyNet()
+        count = []
+        net.fc1.register_full_backward_hook(lambda m, gi, go: count.append(1))
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        with no_grad():
+            net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert count == []
+
+    def test_removal_handle(self):
+        net = TinyNet()
+        count = []
+        handle = net.fc1.register_full_backward_hook(lambda m, gi, go: count.append(1))
+        self._run(net)
+        handle.remove()
+        handle.remove()
+        self._run(net)
+        assert len(count) == 1
+
+
+class TestGradReadyHooks:
+    def test_fires_after_accumulation_with_total_grad(self):
+        net = TinyNet()
+        seen = []
+        net.fc1.weight.register_grad_ready_hook(lambda p: seen.append(p.grad.copy()))
+        for _ in range(2):  # two micro-batches accumulate into .grad
+            net(Tensor(np.ones((2, 4), dtype=np.float32))).sum().backward()
+        assert len(seen) == 2
+        # Second firing observes the accumulated total, not the increment.
+        np.testing.assert_allclose(seen[1], 2.0 * seen[0])
+        np.testing.assert_array_equal(seen[1], net.fc1.weight.grad)
+
+    def test_fires_once_per_backward_per_param(self):
+        net = TinyNet()
+        counts = {"fc1.weight": 0, "fc2.bias": 0}
+        net.fc1.weight.register_grad_ready_hook(lambda p: counts.__setitem__("fc1.weight", counts["fc1.weight"] + 1))
+        net.fc2.bias.register_grad_ready_hook(lambda p: counts.__setitem__("fc2.bias", counts["fc2.bias"] + 1))
+        net(Tensor(np.ones((2, 4), dtype=np.float32))).sum().backward()
+        assert counts == {"fc1.weight": 1, "fc2.bias": 1}
+
+    def test_fires_in_reverse_layer_order_relative_to_backward(self):
+        net = TinyNet()
+        order = []
+        net.fc1.weight.register_grad_ready_hook(lambda p: order.append("fc1"))
+        net.fc2.weight.register_grad_ready_hook(lambda p: order.append("fc2"))
+        net(Tensor(np.ones((2, 4), dtype=np.float32))).sum().backward()
+        assert order == ["fc2", "fc1"]
+
+    def test_removal(self):
+        net = TinyNet()
+        count = []
+        handle = net.fc1.weight.register_grad_ready_hook(lambda p: count.append(1))
+        net(Tensor(np.ones((1, 4), dtype=np.float32))).sum().backward()
+        handle.remove()
+        net(Tensor(np.ones((1, 4), dtype=np.float32))).sum().backward()
+        assert len(count) == 1
+
+    def test_duplicate_grad_ready_hooks_distinct(self):
+        net = TinyNet()
+        count = []
+
+        def hook(p):
+            count.append(1)
+
+        first = net.fc1.weight.register_grad_ready_hook(hook)
+        net.fc1.weight.register_grad_ready_hook(hook)
+        net(Tensor(np.ones((1, 4), dtype=np.float32))).sum().backward()
+        assert len(count) == 2
+        first.remove()
+        net(Tensor(np.ones((1, 4), dtype=np.float32))).sum().backward()
+        assert len(count) == 3
+
 
 class TestContainers:
     def test_sequential_applies_in_order(self):
