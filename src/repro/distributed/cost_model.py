@@ -30,6 +30,7 @@ __all__ = [
     "DeviceSpec",
     "NetworkSpec",
     "PerformanceModel",
+    "amortized_update_time",
     "choose_bucket_cap",
     "V100",
     "A100",
@@ -43,6 +44,19 @@ __all__ = [
 #: behind.  Backward is ~2x forward work (grad w.r.t. inputs and weights), so
 #: two thirds of the fwd+bwd budget is the standard engineering estimate.
 BACKWARD_COMPUTE_FRACTION = 2.0 / 3.0
+
+
+def amortized_update_time(duration: float, update_freq: int, update_fraction: float = 1.0) -> float:
+    """Per-iteration share of a stage that runs every ``update_freq`` steps.
+
+    ``update_fraction`` scales the base cadence to what was *actually*
+    performed — the adaptive scheduler reports performed/expected update
+    ratios (``KFAC.scheduler_stats()``), so a layer set that skipped half its
+    eigen refreshes charges half the amortised decomposition time.  The
+    fixed cadence is ``update_fraction=1.0``; values above 1 model
+    drift-triggered refreshes beyond the base schedule.
+    """
+    return float(duration) * max(float(update_fraction), 0.0) / max(int(update_freq), 1)
 
 
 @dataclass(frozen=True)

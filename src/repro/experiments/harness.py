@@ -232,10 +232,19 @@ def measured_memory_report(
             for layer_name, layer in preconditioner.layers.items()
             if preconditioner.groups[layer_name].is_grad_worker(comm.rank)
         )
+        # Solver-state bytes (cached inverses / CG warm starts) exist only on
+        # a layer's gradient workers and only for non-eigen solve strategies;
+        # the default eigen path predicts (and measures) zero.
+        predicted_solver = 0
+        if preconditioner.solvers is not None:
+            for layer_name, solver in preconditioner.solvers.items():
+                if preconditioner.groups[layer_name].is_grad_worker(comm.rank):
+                    predicted_solver += solver.solver_bytes()
         predicted = {
             "factors": predicted_factors,
             "eigen": predicted_eigen,
-            "total": predicted_factors + predicted_eigen,
+            "solver": predicted_solver,
+            "total": predicted_factors + predicted_eigen + predicted_solver,
         }
         return {"measured": measured, "predicted": predicted}
 

@@ -12,13 +12,14 @@ amortised over their update intervals exactly as the paper's averages are.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..distributed.collectives import BucketManager
-from ..distributed.cost_model import PerformanceModel
+from ..distributed.cost_model import PerformanceModel, amortized_update_time
 from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "IterationTimeModel",
     "CommSchedule",
     "model_comm_schedule",
+    "update_fractions_from_stats",
+    "apply_measured_fractions",
 ]
 
 
@@ -46,6 +49,13 @@ class KFACWorkloadSpec:
     factor_dtype_bytes: int = 4
     eigen_dtype_bytes: int = 4
     grad_accumulation_steps: int = 1
+    #: Performed-vs-base-cadence update ratios (1.0 = the fixed schedule).
+    #: The adaptive scheduler reports measured values via
+    #: ``KFAC.scheduler_stats()``; feed them in with
+    #: :func:`apply_measured_fractions` to model the skipped factor/eigen
+    #: work and communication.
+    factor_update_fraction: float = 1.0
+    eigen_update_fraction: float = 1.0
 
     @property
     def factor_bytes(self) -> int:
@@ -150,10 +160,14 @@ class IterationTimeModel:
         # --- factor computation (data-parallel, identical on every rank) ----
         rows = spec.local_batch_size * spec.samples_per_input
         factor_flops = sum(2.0 * rows * (l.a_dim ** 2 + l.g_dim ** 2) for l in spec.layers)
-        times["factor_compute"][:] = self.perf.compute_time(factor_flops, dtype_b) / f_freq
+        times["factor_compute"][:] = amortized_update_time(
+            self.perf.compute_time(factor_flops, dtype_b), f_freq, spec.factor_update_fraction
+        )
 
         # --- factor allreduce (all ranks, bucketed into one volume) ---------
-        times["factor_allreduce"][:] = self.perf.allreduce_time(spec.factor_bytes, world_size) / f_freq
+        times["factor_allreduce"][:] = amortized_update_time(
+            self.perf.allreduce_time(spec.factor_bytes, world_size), f_freq, spec.factor_update_fraction
+        )
 
         eigen_bytes = spec.eigen_bytes_per_layer
         for layer in spec.layers:
@@ -161,20 +175,25 @@ class IterationTimeModel:
             # --- eigen decomposition (assigned workers only) ----------------
             time_a = self.perf.eigen_decomposition_time(layer.a_dim, dtype_b)
             time_g = self.perf.eigen_decomposition_time(layer.g_dim, dtype_b)
-            times["eigen_decomposition"][group.eigen_worker_a] += time_a / k_freq
-            times["eigen_decomposition"][group.eigen_worker_g] += time_g / k_freq
+            eigen_fraction = spec.eigen_update_fraction
+            times["eigen_decomposition"][group.eigen_worker_a] += amortized_update_time(
+                time_a, k_freq, eigen_fraction
+            )
+            times["eigen_decomposition"][group.eigen_worker_g] += amortized_update_time(
+                time_g, k_freq, eigen_fraction
+            )
 
             # --- eigen broadcast --------------------------------------------
             if comm_opt:
                 bytes_a = layer.a_dim ** 2 * spec.eigen_dtype_bytes
                 bytes_g = layer.g_dim ** 2 * spec.eigen_dtype_bytes
                 duration = self.perf.broadcast_time(bytes_a, world_size) + self.perf.broadcast_time(bytes_g, world_size)
-                times["eigen_broadcast"] += duration / k_freq
+                times["eigen_broadcast"] += amortized_update_time(duration, k_freq, eigen_fraction)
             else:
                 group_size = len(group.grad_workers)
                 duration = self.perf.broadcast_time(eigen_bytes[layer.name], group_size)
                 for rank in group.grad_workers:
-                    times["eigen_broadcast"][rank] += duration / k_freq
+                    times["eigen_broadcast"][rank] += amortized_update_time(duration, k_freq, eigen_fraction)
 
             # --- gradient preconditioning (gradient workers, every iteration)
             precondition_flops = 2.0 * (
@@ -356,7 +375,7 @@ def model_comm_schedule(
                 factor_time += perf.allreduce_time(nbytes, world_size)
         if fused and not hooked and overlap_window_s > 0.0:
             factor_time = perf.exposed_comm_time(factor_time, overlap_window_s)
-        factor_per_iter = factor_time / f_freq
+        factor_per_iter = amortized_update_time(factor_time, f_freq, spec.factor_update_fraction)
 
     # --- eigen broadcast ----------------------------------------------------
     def packed_eigen_elems(n: int) -> int:
@@ -386,7 +405,9 @@ def model_comm_schedule(
                         nbytes = int(np.prod(entry[1])) * e_dtype.itemsize
                         messages += 1
                         comm_bytes += nbytes
-                        comm_time += perf.broadcast_time(nbytes, world_size) / k_freq
+                        comm_time += amortized_update_time(
+                            perf.broadcast_time(nbytes, world_size), k_freq, spec.eigen_update_fraction
+                        )
             else:
                 members = group.grad_workers
                 if len(members) <= 1:
@@ -404,7 +425,9 @@ def model_comm_schedule(
                         nbytes = int(np.prod(entry[1])) * e_dtype.itemsize
                         messages += 1
                         comm_bytes += nbytes
-                        duration = perf.broadcast_time(nbytes, len(members)) / k_freq
+                        duration = amortized_update_time(
+                            perf.broadcast_time(nbytes, len(members)), k_freq, spec.eigen_update_fraction
+                        )
                         for rank in members:
                             comm_time[rank] += duration
         if fused:
@@ -413,7 +436,9 @@ def model_comm_schedule(
                 for bucket in buckets.build(eigen_channels[channel]):
                     messages += 1
                     comm_bytes += bucket.nbytes
-                    duration = perf.fused_broadcast_time(bucket.nbytes, len(members), 1) / k_freq
+                    duration = amortized_update_time(
+                        perf.fused_broadcast_time(bucket.nbytes, len(members), 1), k_freq, spec.eigen_update_fraction
+                    )
                     for rank in members:
                         comm_time[rank] += duration
 
@@ -489,4 +514,39 @@ def model_comm_schedule(
         hooked=bool(hooked),
         exposed_comm_time=float(exposed),
         hidden_comm_time=float(hidden),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Measured scheduler counters -> modeled update fractions
+# ---------------------------------------------------------------------------
+
+
+def update_fractions_from_stats(stats: Dict[str, Any]) -> Tuple[float, float]:
+    """``(factor_update_fraction, eigen_update_fraction)`` from ``KFAC.scheduler_stats()``.
+
+    The preconditioner already normalizes its counters against the fixed base
+    cadence; this helper just extracts the two ratios (defaulting to 1.0 for
+    stat dicts from the fixed-frequency path or older runs).
+    """
+    return (
+        float(stats.get("factor_update_fraction", 1.0)),
+        float(stats.get("eigen_update_fraction", 1.0)),
+    )
+
+
+def apply_measured_fractions(spec: KFACWorkloadSpec, stats: Dict[str, Any]) -> KFACWorkloadSpec:
+    """A copy of ``spec`` carrying the update fractions a real run measured.
+
+    Feed the result back into :class:`IterationTimeModel` /
+    :func:`model_comm_schedule` to model the iteration time of the adaptive
+    schedule: skipped factor updates shrink the amortised factor compute and
+    allreduce terms, skipped eigen refreshes shrink the decomposition and
+    eigen-broadcast terms.
+    """
+    factor_fraction, eigen_fraction = update_fractions_from_stats(stats)
+    return dataclasses.replace(
+        spec,
+        factor_update_fraction=factor_fraction,
+        eigen_update_fraction=eigen_fraction,
     )

@@ -15,6 +15,13 @@ Keeping the protocol explicit — rather than duck-typing on ``step`` — lets a
 new preconditioner (e.g. Shampoo-style or a diagonal Fisher approximation)
 plug into the trainer, the checkpointing path and the memory reporting
 without touching any of them.
+
+Optional loss feedback: a preconditioner that exposes a truthy
+``accepts_loss_feedback`` attribute is called as ``step(lr=..., loss=...)``
+by the trainer — :class:`repro.kfac.KFAC` uses this to drive its
+Levenberg-Marquardt adaptive damping controller
+(:mod:`repro.kfac.scheduling`).  Implementations without the attribute keep
+the plain ``step(lr=...)`` signature.
 """
 
 from __future__ import annotations

@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Union
 
 from ..tensor import PrecisionPolicy
+from .scheduling.solvers import available_solve_strategies
 
-__all__ = ["KFACConfig", "default_comm_overlap"]
+__all__ = ["KFACConfig", "default_comm_overlap", "default_adaptive_schedule"]
 
 
 def default_comm_overlap() -> bool:
@@ -38,6 +39,17 @@ def default_comm_overlap() -> bool:
     test suite through the overlap path without code changes.
     """
     return os.environ.get("REPRO_COMM_OVERLAP", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def default_adaptive_schedule() -> bool:
+    """Default for :attr:`KFACConfig.adaptive_schedule`, overridable via environment.
+
+    Setting ``REPRO_ADAPTIVE=1`` (or ``true``/``yes``/``on``) routes every
+    preconditioner through the :mod:`repro.kfac.scheduling` planner — used by
+    CI to run the whole suite through the scheduler path (which is bitwise
+    identical to the fixed path while ``drift_tol`` is 0).
+    """
+    return os.environ.get("REPRO_ADAPTIVE", "").strip().lower() in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -72,6 +84,40 @@ class KFACConfig:
     #: and the registered layer shapes at preconditioner construction
     #: (:func:`repro.distributed.cost_model.choose_bucket_cap`).
     bucket_cap_mb: Union[float, str] = 25.0
+    #: Route update timing through the :mod:`repro.kfac.scheduling` planner
+    #: (:class:`~repro.kfac.scheduling.FactorUpdateScheduler`).  With the
+    #: remaining adaptive knobs at their defaults the plan is the fixed
+    #: cadence bit for bit; it also unlocks drift-driven refresh, adaptive
+    #: damping and the inverse-free solvers below.  Default honours the
+    #: ``REPRO_ADAPTIVE`` env toggle.
+    adaptive_schedule: bool = field(default_factory=default_adaptive_schedule)
+    #: Normalized Frobenius factor-drift tolerance; 0 disables drift
+    #: tracking (fixed cadence).  Positive values stretch stale-tolerant
+    #: layers' eigen intervals and pull refreshes forward on drift spikes.
+    drift_tol: float = 0.0
+    #: Cap (iterations) for a drift-stretched eigen interval; 0 means no
+    #: stretching (drift can only accelerate refreshes).
+    max_staleness: int = 0
+    #: Levenberg-Marquardt adaptive Tikhonov damping
+    #: (:class:`~repro.kfac.scheduling.AdaptiveDampingController`); requires
+    #: the trainer to feed the loss into ``KFAC.step(loss=...)``.
+    adaptive_damping: bool = False
+    #: Apply the factor-trace π correction when damping the factors
+    #: (:func:`~repro.kfac.kmath.tikhonov_pi`, after torch-kfac).
+    damping_pi_correction: bool = False
+    #: Per-layer solve path: "eigen" (the paper's default), "inverse"
+    #: (direct damped inverses, Eq. 12) or "cg" (warm-started inverse-free
+    #: conjugate gradients).
+    solve_strategy: str = "eigen"
+    #: Solver used for layers whose factor dimensions are both
+    #: <= ``small_layer_dim`` (those layers skip O(F³) eigen entirely).
+    small_layer_solver: str = "cg"
+    #: Factor-dimension threshold below which ``small_layer_solver`` takes
+    #: over; 0 disables the small-layer routing.
+    small_layer_dim: int = 0
+    #: Relative residual tolerance and iteration cap of the CG solver.
+    cg_tol: float = 1e-8
+    cg_max_iter: int = 50
 
     def __post_init__(self) -> None:
         # Canonicalize numeric types first so consumers always see float/int.
@@ -86,6 +132,14 @@ class KFACConfig:
             ("compute_eigen_outer", bool),
             ("triangular_comm", bool),
             ("comm_overlap", bool),
+            ("adaptive_schedule", bool),
+            ("drift_tol", float),
+            ("max_staleness", int),
+            ("adaptive_damping", bool),
+            ("damping_pi_correction", bool),
+            ("small_layer_dim", int),
+            ("cg_tol", float),
+            ("cg_max_iter", int),
         ):
             object.__setattr__(self, name, cast(getattr(self, name)))
         if isinstance(self.bucket_cap_mb, str):
@@ -97,11 +151,54 @@ class KFACConfig:
             object.__setattr__(self, "bucket_cap_mb", float(self.bucket_cap_mb))
         if self.factor_update_freq < 1 or self.inv_update_freq < 1:
             raise ValueError("update frequencies must be >= 1")
-        if self.inv_update_freq % self.factor_update_freq != 0:
+        if not self.adaptive_schedule:
+            # The fixed-frequency path decomposes on factor-update steps only,
+            # so the static cadences must nest.  Adaptive plans legitimately
+            # violate the divisibility (a second-order refresh forces its own
+            # factor update), hence the check is scoped to the static case.
+            if self.inv_update_freq % self.factor_update_freq != 0:
+                raise ValueError(
+                    "inv_update_freq must be a multiple of factor_update_freq when adaptive "
+                    f"scheduling is off (got inv_update_freq={self.inv_update_freq}, "
+                    f"factor_update_freq={self.factor_update_freq}); set adaptive_schedule=True "
+                    "to allow independent cadences"
+                )
+            # Every adaptive knob needs the scheduler path to take effect;
+            # silently ignoring one would make configs lie about behavior.
+            for name, neutral in (
+                ("drift_tol", 0.0),
+                ("max_staleness", 0),
+                ("adaptive_damping", False),
+                ("damping_pi_correction", False),
+                ("small_layer_dim", 0),
+                ("solve_strategy", "eigen"),
+            ):
+                if getattr(self, name) != neutral:
+                    raise ValueError(
+                        f"{name}={getattr(self, name)!r} requires adaptive_schedule=True "
+                        "(the fixed-frequency path ignores adaptive knobs)"
+                    )
+        if self.drift_tol < 0.0:
+            raise ValueError("drift_tol must be >= 0")
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        if self.max_staleness and self.max_staleness < self.inv_update_freq:
             raise ValueError(
-                "inv_update_freq must be a multiple of factor_update_freq "
-                f"(got {self.inv_update_freq} and {self.factor_update_freq})"
+                f"max_staleness ({self.max_staleness}) caps the stretched eigen interval and "
+                f"must be >= inv_update_freq ({self.inv_update_freq}), or 0 for no stretching"
             )
+        for field_name in ("solve_strategy", "small_layer_solver"):
+            value = getattr(self, field_name)
+            if value not in available_solve_strategies():
+                raise ValueError(
+                    f"{field_name} must be one of {available_solve_strategies()}, got {value!r}"
+                )
+        if self.small_layer_dim < 0:
+            raise ValueError("small_layer_dim must be >= 0")
+        if self.cg_tol <= 0.0:
+            raise ValueError("cg_tol must be positive")
+        if self.cg_max_iter < 1:
+            raise ValueError("cg_max_iter must be >= 1")
         if not 0.0 < self.factor_decay <= 1.0:
             raise ValueError("factor_decay must be in (0, 1]")
         if self.damping <= 0.0:
@@ -138,6 +235,32 @@ class KFACConfig:
     def hybrid(cls, grad_worker_frac: float = 0.5, **overrides: Any) -> "KFACConfig":
         """HYBRID-OPT preset with a tunable gradient-worker fraction."""
         return cls(grad_worker_frac=grad_worker_frac, **overrides)
+
+    @classmethod
+    def adaptive(cls, **overrides: Any) -> "KFACConfig":
+        """Adaptive-scheduling preset: drift-driven refresh, LM damping, π, CG.
+
+        Turns on every knob the :mod:`repro.kfac.scheduling` subsystem adds:
+        drift tracking with interval stretching (capped at 8x the eigen
+        cadence), Levenberg-Marquardt adaptive damping with the π correction,
+        and CG solves for layers with factor dimensions <= 32.  Any field can
+        still be overridden.
+        """
+        defaults: Dict[str, Any] = dict(
+            adaptive_schedule=True,
+            drift_tol=0.05,
+            adaptive_damping=True,
+            damping_pi_correction=True,
+            small_layer_solver="cg",
+            small_layer_dim=32,
+        )
+        defaults.update(overrides)
+        if "max_staleness" not in defaults:
+            inv_freq = int(
+                defaults.get("inv_update_freq", cls.__dataclass_fields__["inv_update_freq"].default)
+            )
+            defaults["max_staleness"] = 8 * inv_freq
+        return cls(**defaults)
 
     # ------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:

@@ -21,10 +21,12 @@ from scipy import linalg as sla
 __all__ = [
     "EigenDecomposition",
     "symmetric_eigen",
+    "eigenvalue_outer_product",
     "precondition_with_eigen",
     "precondition_with_inverse",
     "damped_inverse",
     "kl_clip_scale",
+    "tikhonov_pi",
 ]
 
 
@@ -67,7 +69,11 @@ def symmetric_eigen(factor: np.ndarray, compute_dtype=np.float32, clamp_negative
 
 
 def eigenvalue_outer_product(
-    eig_a: EigenDecomposition, eig_g: EigenDecomposition, damping: float, dtype=np.float32
+    eig_a: EigenDecomposition,
+    eig_g: EigenDecomposition,
+    damping: float,
+    dtype=np.float32,
+    pi: Optional[float] = None,
 ) -> np.ndarray:
     """Precompute ``1 / (v_G v_Aᵀ + γ)`` (paper section 4.4).
 
@@ -75,11 +81,36 @@ def eigenvalue_outer_product(
     decompositions are updated, so computing it once per K-FAC update (and
     broadcasting it instead of the raw eigenvalues) removes redundant work
     from every per-iteration preconditioning call.
+
+    ``pi`` enables the factor-trace π correction (see :func:`tikhonov_pi`):
+    the damping splits per factor as ``γ_a = π√γ``, ``γ_g = √γ/π`` and the
+    damped spectra are multiplied, i.e. ``1 / ((v_G + √γ/π)(v_A + π√γ)ᵀ)``.
+    ``pi=None`` (the default) keeps the uncorrected formula bit for bit.
     """
     v_g = eig_g.eigenvalues.astype(np.float64)
     v_a = eig_a.eigenvalues.astype(np.float64)
-    outer = np.outer(v_g, v_a) + float(damping)
+    if pi is None:
+        outer = np.outer(v_g, v_a) + float(damping)
+    else:
+        root = float(np.sqrt(float(damping)))
+        pi = float(pi)
+        outer = np.outer(v_g + root / pi, v_a + pi * root)
     return (1.0 / outer).astype(dtype)
+
+
+def tikhonov_pi(factor_a: np.ndarray, factor_g: np.ndarray, eps: float = 1e-12) -> float:
+    """Factor-trace π correction (Martens & Grosse 2015; torch-kfac's ``pi``).
+
+    ``π = sqrt((tr(A)/dim_A) / (tr(G)/dim_G))`` balances the Tikhonov
+    damping between the two Kronecker factors according to their relative
+    scale.  Degenerate traces (zero, negative, non-finite) fall back to 1.0,
+    which reduces to the uncorrected split.
+    """
+    trace_a = float(np.trace(factor_a.astype(np.float64))) / max(factor_a.shape[0], 1)
+    trace_g = float(np.trace(factor_g.astype(np.float64))) / max(factor_g.shape[0], 1)
+    if not np.isfinite(trace_a) or not np.isfinite(trace_g) or trace_a <= eps or trace_g <= eps:
+        return 1.0
+    return float(np.sqrt(trace_a / trace_g))
 
 
 def precondition_with_eigen(
@@ -88,6 +119,7 @@ def precondition_with_eigen(
     eig_g: EigenDecomposition,
     damping: float,
     inverse_outer: Optional[np.ndarray] = None,
+    pi: Optional[float] = None,
 ) -> np.ndarray:
     """Precondition a gradient matrix with the eigen decomposition path (Eqs. 15-17).
 
@@ -102,13 +134,16 @@ def precondition_with_eigen(
         Tikhonov damping ``γ``.
     inverse_outer:
         Optional cached ``1/(v_G v_Aᵀ + γ)``; recomputed if not provided.
+    pi:
+        Optional π correction applied if the outer product must be
+        recomputed (a cached ``inverse_outer`` already embeds its π).
     """
     q_a = eig_a.eigenvectors.astype(np.float32)
     q_g = eig_g.eigenvectors.astype(np.float32)
     grad32 = grad.astype(np.float32)
     v1 = q_g.T @ grad32 @ q_a  # Eq. 15
     if inverse_outer is None:
-        inverse_outer = eigenvalue_outer_product(eig_a, eig_g, damping)
+        inverse_outer = eigenvalue_outer_product(eig_a, eig_g, damping, pi=pi)
     v2 = v1 * inverse_outer.astype(np.float32)  # Eq. 16
     return (q_g @ v2 @ q_a.T).astype(grad.dtype)  # Eq. 17
 

@@ -241,8 +241,12 @@ class KFACLayer:
         self.factor_g = factor_g.astype(dtype)
 
     # ---------------------------------------------------------------- eigen
-    def compute_eigen(self, damping: float, compute_outer: bool = True) -> None:
-        """Eigen-decompose both factors and (optionally) cache the outer product."""
+    def compute_eigen(self, damping: float, compute_outer: bool = True, pi: Optional[float] = None) -> None:
+        """Eigen-decompose both factors and (optionally) cache the outer product.
+
+        ``pi`` applies the factor-trace π damping correction to the cached
+        outer product (``None`` keeps the uncorrected formula bit for bit).
+        """
         if self.factor_a is None or self.factor_g is None:
             raise RuntimeError(f"layer {self.name!r} has no factors to decompose")
         compute = self.precision.compute_dtype
@@ -250,7 +254,7 @@ class KFACLayer:
         self.eigen_a = symmetric_eigen(self.factor_a, compute_dtype=compute).astype(store)
         self.eigen_g = symmetric_eigen(self.factor_g, compute_dtype=compute).astype(store)
         if compute_outer:
-            self.inverse_outer = eigenvalue_outer_product(self.eigen_a, self.eigen_g, damping, dtype=store)
+            self.inverse_outer = eigenvalue_outer_product(self.eigen_a, self.eigen_g, damping, dtype=store, pi=pi)
         else:
             self.inverse_outer = None
 
@@ -367,12 +371,16 @@ class KFACLayer:
         """Write a (preconditioned) gradient matrix back into the module parameters."""
         raise NotImplementedError
 
-    def precondition(self, damping: float) -> np.ndarray:
-        """Precondition the current gradient with the cached eigen decompositions."""
+    def precondition(self, damping: float, pi: Optional[float] = None) -> np.ndarray:
+        """Precondition the current gradient with the cached eigen decompositions.
+
+        ``pi`` is only consulted when no outer product is cached (a cached
+        ``inverse_outer`` already embeds the π in force at eigen time).
+        """
         if not self.has_eigen:
             raise RuntimeError(f"layer {self.name!r} has no eigen decompositions")
         grad = self.get_gradient()
-        return precondition_with_eigen(grad, self.eigen_a, self.eigen_g, damping, self.inverse_outer)
+        return precondition_with_eigen(grad, self.eigen_a, self.eigen_g, damping, self.inverse_outer, pi=pi)
 
     # --------------------------------------------------------------- memory
     def factor_bytes(self) -> int:

@@ -65,8 +65,9 @@ from ..nn.module import Module
 from ..tensor import PrecisionPolicy
 from .base import Preconditioner
 from .config import KFACConfig
-from .kmath import kl_clip_scale
+from .kmath import kl_clip_scale, tikhonov_pi
 from .layers import KFACLayer, make_kfac_layer
+from .scheduling import AdaptiveDampingController, FactorUpdateScheduler, SolveStrategy, make_solve_strategy
 from .strategy import DistributionStrategy, LayerWorkGroups
 from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
@@ -95,6 +96,16 @@ class KFAC(Preconditioner):
         triangular_comm: bool = False,
         comm_overlap: Optional[bool] = None,
         bucket_cap_mb: Union[float, str, None] = None,
+        adaptive_schedule: Optional[bool] = None,
+        drift_tol: Optional[float] = None,
+        max_staleness: Optional[int] = None,
+        adaptive_damping: Optional[bool] = None,
+        damping_pi_correction: Optional[bool] = None,
+        solve_strategy: Optional[str] = None,
+        small_layer_solver: Optional[str] = None,
+        small_layer_dim: Optional[int] = None,
+        cg_tol: Optional[float] = None,
+        cg_max_iter: Optional[int] = None,
         profiler=None,
         strategy: Optional[DistributionStrategy] = None,
     ) -> None:
@@ -123,6 +134,22 @@ class KFAC(Preconditioner):
             overlap_overrides["comm_overlap"] = comm_overlap
         if bucket_cap_mb is not None:
             overlap_overrides["bucket_cap_mb"] = bucket_cap_mb
+        # Adaptive-scheduling knobs: None defers to the KFACConfig defaults
+        # (including the REPRO_ADAPTIVE environment toggle).
+        for key, value in (
+            ("adaptive_schedule", adaptive_schedule),
+            ("drift_tol", drift_tol),
+            ("max_staleness", max_staleness),
+            ("adaptive_damping", adaptive_damping),
+            ("damping_pi_correction", damping_pi_correction),
+            ("solve_strategy", solve_strategy),
+            ("small_layer_solver", small_layer_solver),
+            ("small_layer_dim", small_layer_dim),
+            ("cg_tol", cg_tol),
+            ("cg_max_iter", cg_max_iter),
+        ):
+            if value is not None:
+                overlap_overrides[key] = value
         config = KFACConfig(
             lr=lr,
             factor_decay=factor_decay,
@@ -176,6 +203,12 @@ class KFAC(Preconditioner):
         self._pipeline_folded: set = set()
         self._pipeline_folded_step = -1
         self._skip_ids = {id(m) for m in skip_modules}
+        # The scheduling subsystem attributes exist before registration so
+        # the per-layer accumulate closures can consult them at hook time.
+        self.damping_pi_correction = config.damping_pi_correction
+        self.factor_scheduler: Optional[FactorUpdateScheduler] = None
+        self.solvers: Optional[Dict[str, SolveStrategy]] = None
+        self.damping_controller: Optional[AdaptiveDampingController] = None
         self.layers: Dict[str, KFACLayer] = {}
         self._register_model(model)
         if not self.layers:
@@ -183,10 +216,40 @@ class KFAC(Preconditioner):
         self.groups: Dict[str, LayerWorkGroups] = self.strategy.assign(
             [layer.shape_info() for layer in self.layers.values()]
         )
+        if config.adaptive_schedule:
+            self.factor_scheduler = FactorUpdateScheduler(
+                list(self.layers),
+                config.factor_update_freq,
+                config.inv_update_freq,
+                drift_tol=config.drift_tol,
+                max_staleness=config.max_staleness,
+            )
+            self.solvers = {
+                name: self._make_solver(self._solver_name_for(layer))
+                for name, layer in self.layers.items()
+            }
+            if config.adaptive_damping:
+                self.damping_controller = AdaptiveDampingController(config.damping)
         # "auto" sizes the fused-buffer cap from the alpha-beta model and the
         # registered factor shapes, so it must resolve after registration.
         self.resolved_bucket_cap_mb = self._resolve_bucket_cap()
         self.scheduler = OverlapScheduler(self.comm, self.resolved_bucket_cap_mb) if self.comm_overlap else None
+
+    def _solver_name_for(self, layer: KFACLayer) -> str:
+        """Which registered solve strategy preconditions ``layer``.
+
+        Layers whose factor dimensions both fit under ``small_layer_dim`` are
+        routed to ``small_layer_solver`` (skipping O(F³) eigen work entirely);
+        everything else uses the configured ``solve_strategy``.
+        """
+        config = self._base_config
+        if config.small_layer_dim > 0 and max(layer.a_dim, layer.g_dim) <= config.small_layer_dim:
+            return config.small_layer_solver
+        return config.solve_strategy
+
+    def _make_solver(self, name: str) -> SolveStrategy:
+        kwargs = {"tol": self._base_config.cg_tol, "max_iter": self._base_config.cg_max_iter} if name == "cg" else {}
+        return make_solve_strategy(name, **kwargs)
 
     def _resolve_bucket_cap(self) -> float:
         """The numeric fused-buffer cap (MB) the engine will use."""
@@ -247,18 +310,26 @@ class KFAC(Preconditioner):
         for name, module in model.named_modules():
             if id(module) in self._skip_ids:
                 continue
+            layer_name = name or module.__class__.__name__
             layer = make_kfac_layer(
-                name or module.__class__.__name__,
+                layer_name,
                 module,
                 self.precision,
-                should_accumulate=self._should_accumulate,
+                should_accumulate=lambda layer_name=layer_name: self._should_accumulate(layer_name),
                 grad_scale=self._current_grad_scale,
             )
             if layer is not None:
                 self.layers[layer.name] = layer
 
-    def _should_accumulate(self) -> bool:
-        """Layer hooks accumulate statistics only on factor-update iterations."""
+    def _should_accumulate(self, layer_name: str) -> bool:
+        """Layer hooks accumulate statistics only on factor-update iterations.
+
+        With adaptive scheduling the decision is per layer: hooks of layers
+        whose factor update is not due this step skip the (quadratic)
+        statistics accumulation entirely.
+        """
+        if self.factor_scheduler is not None:
+            return self.factor_scheduler.factors_due(layer_name, self._steps)
         return self._steps % self.factor_update_freq == 0
 
     def _current_grad_scale(self) -> float:
@@ -306,10 +377,23 @@ class KFAC(Preconditioner):
         return list(self.layers.keys())
 
     # --------------------------------------------------------------------- step
-    def step(self, lr: Optional[float] = None) -> None:
-        """Precondition all registered layer gradients in place (Listing 1)."""
+    @property
+    def accepts_loss_feedback(self) -> bool:
+        """Whether :meth:`step` consumes ``loss=`` (adaptive damping on)."""
+        return self.damping_controller is not None
+
+    def step(self, lr: Optional[float] = None, loss: Optional[float] = None) -> None:
+        """Precondition all registered layer gradients in place (Listing 1).
+
+        ``loss`` (this step's training loss) feeds the Levenberg-Marquardt
+        adaptive damping controller when ``adaptive_damping`` is configured;
+        it is ignored otherwise.
+        """
         if lr is not None:
             self.lr = float(lr)
+        if self.factor_scheduler is not None:
+            self._step_scheduled(loss)
+            return
         update_factors = self._steps % self.factor_update_freq == 0
         update_eigen = self._steps % self.inv_update_freq == 0
 
@@ -331,9 +415,94 @@ class KFAC(Preconditioner):
             self._apply_preconditioned_gradients(preconditioned)
         self._steps += 1
 
+    def _step_scheduled(self, loss: Optional[float]) -> None:
+        """Scheduler-planned step: per-layer factor/second-order refreshes.
+
+        With ``drift_tol=0`` and nested frequencies the per-layer plan is the
+        fixed cadence for every layer, all subsets below cover every layer on
+        the same steps as the legacy body, and the arithmetic is untouched —
+        the two paths are bitwise identical.
+        """
+        sched = self.factor_scheduler
+        step = self._steps
+        mean_loss: Optional[float] = None
+        if self.damping_controller is not None and loss is not None:
+            # Average the loss across ranks so every rank applies the same
+            # damping adjustment and the SPMD plan stays in lock step.
+            mean_loss = self._mean_loss(loss)
+            self.damping = self.damping_controller.observe_loss(mean_loss)
+
+        factor_layers = [name for name in self.layers if sched.factors_due(name, step)]
+        if factor_layers and self._pipeline_factor_step != step:
+            with self._profile("factor_compute"):
+                self._update_local_factors(factor_layers)
+            with self._profile("factor_allreduce"):
+                self._allreduce_factors(factor_layers)
+        for name in factor_layers:
+            layer = self.layers[name]
+            # Post-allreduce: all ranks observe identical factors and hence
+            # derive the identical plan without extra communication.
+            sched.observe_factors(name, step, layer.factor_a, layer.factor_g)
+
+        second_layers = [name for name in self.layers if sched.second_order_due(name, step)]
+        eigen_layers = [name for name in second_layers if self.solvers[name].needs_eigen]
+        if second_layers:
+            with self._profile("eigen_decomposition"):
+                self._compute_eigen_decompositions(eigen_layers)
+                for name in second_layers:
+                    solver = self.solvers[name]
+                    if solver.needs_eigen:
+                        continue
+                    if self.groups[name].is_grad_worker(self.rank):
+                        layer = self.layers[name]
+                        solver.prepare(layer, self.damping, pi=self.damping_pi(layer))
+            with self._profile("eigen_broadcast"):
+                self._broadcast_eigen_decompositions(eigen_layers)
+            for name in second_layers:
+                layer = self.layers[name]
+                sched.mark_second_order(name, step, layer.factor_a, layer.factor_g)
+
+        with self._profile("precondition"):
+            preconditioned = self._precondition_gradients()
+        with self._profile("grad_broadcast"):
+            preconditioned = self._broadcast_preconditioned_gradients(preconditioned)
+        with self._profile("scale_and_update"):
+            nu, raw_total = self._apply_preconditioned_gradients(preconditioned)
+        if self.damping_controller is not None and mean_loss is not None:
+            # First-order predicted reduction of the update just written:
+            # the parameter delta is -lr·ν·precond, so ⟨grad, Δw⟩ predicts
+            # a decrease of lr·ν·Σ⟨grad, precond⟩.
+            self.damping_controller.record_prediction(mean_loss, self.lr * nu * raw_total)
+        sched.advance(step)
+        self._steps += 1
+
+    def _mean_loss(self, loss: float) -> float:
+        value = np.asarray([float(loss)], dtype=np.float64)
+        return float(self.comm.allreduce_average(value)[0])
+
+    def damping_pi(self, layer: KFACLayer) -> Optional[float]:
+        """The factor-trace π correction for ``layer``, or None when disabled.
+
+        ``None`` keeps every downstream damping formula on its uncorrected
+        branch bit for bit, so the legacy path never sees a π.
+        """
+        if self.factor_scheduler is None or not self.damping_pi_correction:
+            return None
+        if layer.factor_a is None or layer.factor_g is None:
+            return None
+        return tikhonov_pi(layer.factor_a, layer.factor_g)
+
     # ------------------------------------------------------------ stage 1: factors
-    def _update_local_factors(self) -> None:
-        for layer in self.layers.values():
+    # Stage helpers take an optional layer-name subset (registration order
+    # preserved): the legacy path passes None (= all layers), the scheduler
+    # path passes the layers whose refresh is due this step.  Skipped layers
+    # contribute no local compute and no collective traffic.
+    def _layer_subset(self, names: Optional[Sequence[str]]) -> List[str]:
+        return list(self.layers) if names is None else list(names)
+
+    def _update_local_factors(self, names: Optional[Sequence[str]] = None) -> None:
+        for name in self._layer_subset(names):
+            layer = self.layers[name]
             if not layer.has_accumulated_data:
                 raise RuntimeError(
                     f"layer {layer.name!r} has no forward/backward statistics for this factor update; "
@@ -342,13 +511,14 @@ class KFAC(Preconditioner):
             a_new, g_new = layer.compute_batch_factors()
             layer.update_factors(a_new, g_new, self.factor_decay)
 
-    def _allreduce_factors(self) -> None:
+    def _allreduce_factors(self, names: Optional[Sequence[str]] = None) -> None:
         if self.comm.world_size == 1:
             return
         if self.scheduler is not None:
-            self._allreduce_factors_fused()
+            self._allreduce_factors_fused(names)
             return
-        for layer in self.layers.values():
+        for name in self._layer_subset(names):
+            layer = self.layers[name]
             factor_a, factor_g = layer.factor_a, layer.factor_g
             if self.triangular_comm:
                 packed_a = self.comm.allreduce_average(pack_upper_triangle(factor_a))
@@ -363,7 +533,7 @@ class KFAC(Preconditioner):
                     self.comm.allreduce_average(factor_g),
                 )
 
-    def _allreduce_factors_fused(self) -> None:
+    def _allreduce_factors_fused(self, names: Optional[Sequence[str]] = None) -> None:
         """Factor allreduce through the bucketed engine (bitwise-identical).
 
         Allreduce-average is elementwise, so coalescing the per-layer factor
@@ -375,7 +545,8 @@ class KFAC(Preconditioner):
         strategy and shared with the backward-hook gradient pipeline.
         """
         specs: List[AllreduceSpec] = []
-        for layer in self.layers.values():
+        for name in self._layer_subset(names):
+            layer = self.layers[name]
             for key, _shape, _dtype, pack, install in self.strategy.factor_allreduce_entries(layer, self):
                 specs.append(AllreduceSpec(key=key, payload=pack(), on_complete=install))
         self.scheduler.run_allreduces(specs)
@@ -383,25 +554,28 @@ class KFAC(Preconditioner):
     # -------------------------------------------------------- stage 2: eigen decomp
     # The placement of the decompositions, which ranks keep them, and every
     # broadcast plan are owned by the strategy object (section 3.1).
-    def _compute_eigen_decompositions(self) -> None:
-        for name, layer in self.layers.items():
-            self.strategy.compute_eigen(layer, self.groups[name], self)
+    def _compute_eigen_decompositions(self, names: Optional[Sequence[str]] = None) -> None:
+        for name in self._layer_subset(names):
+            self.strategy.compute_eigen(self.layers[name], self.groups[name], self)
 
-    def _broadcast_eigen_decompositions(self) -> None:
+    def _broadcast_eigen_decompositions(self, names: Optional[Sequence[str]] = None) -> None:
+        subset = self._layer_subset(names)
+        if not subset:
+            return
         if self.scheduler is not None:
             # One deterministic schedule across all layers: specs sharing a
             # (src, group) channel fuse into capped buckets, and all buckets
             # fly concurrently instead of one blocking broadcast per tensor.
             specs: List[BroadcastSpec] = []
-            for name, layer in self.layers.items():
-                specs.extend(self.strategy.eigen_broadcast_specs(layer, self.groups[name], self))
+            for name in subset:
+                specs.extend(self.strategy.eigen_broadcast_specs(self.layers[name], self.groups[name], self))
             self.scheduler.run_broadcasts(specs)
-            for name, layer in self.layers.items():
+            for name in subset:
                 if self.groups[name].is_grad_worker(self.rank):
-                    self.strategy.finalize_eigen(layer, self.groups[name], self)
+                    self.strategy.finalize_eigen(self.layers[name], self.groups[name], self)
             return
-        for name, layer in self.layers.items():
-            self.strategy.broadcast_eigen(layer, self.groups[name], self)
+        for name in subset:
+            self.strategy.broadcast_eigen(self.layers[name], self.groups[name], self)
 
     # ------------------------------------------------------ stage 3: precondition
     def _precondition_gradients(self) -> Dict[str, Optional[np.ndarray]]:
@@ -409,7 +583,11 @@ class KFAC(Preconditioner):
         for name, layer in self.layers.items():
             group = self.groups[name]
             if group.is_grad_worker(self.rank):
-                preconditioned[name] = layer.precondition(self.damping)
+                if self.solvers is not None:
+                    solver = self.solvers[name]
+                    preconditioned[name] = solver.solve(layer, self.damping, pi=self.damping_pi(layer))
+                else:
+                    preconditioned[name] = layer.precondition(self.damping)
             else:
                 preconditioned[name] = None
         return preconditioned
@@ -440,7 +618,15 @@ class KFAC(Preconditioner):
         return out
 
     # --------------------------------------------------- stage 4: scale and update
-    def _apply_preconditioned_gradients(self, preconditioned: Dict[str, Optional[np.ndarray]]) -> None:
+    def _apply_preconditioned_gradients(
+        self, preconditioned: Dict[str, Optional[np.ndarray]]
+    ) -> tuple:
+        """Write back ν-scaled preconditioned gradients; return ``(ν, Σ⟨grad, precond⟩)``.
+
+        The raw inner-product total feeds the adaptive damping controller's
+        predicted-reduction estimate and is only computed when a controller
+        is attached.
+        """
         pairs = []
         for name, layer in self.layers.items():
             precond = preconditioned[name]
@@ -448,8 +634,13 @@ class KFAC(Preconditioner):
                 raise RuntimeError(f"missing preconditioned gradient for layer {name!r}")
             pairs.append((layer.get_gradient(), precond))
         nu = kl_clip_scale(pairs, self.lr, self.kl_clip)
+        raw_total = 0.0
+        if self.damping_controller is not None:
+            for grad, precond in pairs:
+                raw_total += float(np.sum(grad.astype(np.float64) * precond.astype(np.float64)))
         for (name, layer), (_, precond) in zip(self.layers.items(), pairs):
             layer.set_gradient(precond * nu)
+        return nu, raw_total
 
     # ------------------------------------- backward-hook pipeline subscription
     # KFAC is a GradientPipeline subscriber: on factor-update iterations it
@@ -478,12 +669,15 @@ class KFAC(Preconditioner):
             # repost their factors via flush_ready.
             self._pipeline_folded = set()
             self._pipeline_folded_step = self._steps
-        if self._steps % self.factor_update_freq != 0:
+        due = set(self._factor_layers_due())
+        if not due:
             return []
         specs: List[GradientBucketSpec] = []
         # Reverse registration order: the last layers' backward events fire
         # first, so their factor buckets fill (and post) earliest.
         for name in reversed(list(self.layers)):
+            if name not in due:
+                continue
             layer = self.layers[name]
             for key, shape, dtype, pack, install in self.strategy.factor_allreduce_entries(layer, self):
 
@@ -522,14 +716,27 @@ class KFAC(Preconditioner):
         layer.update_factors(a_new, g_new, self.factor_decay)
         self._pipeline_folded.add(id(layer))
 
+    def _factor_layers_due(self) -> List[str]:
+        """Layer names whose factor fold + allreduce run this step.
+
+        The scheduler path asks the per-layer plan; the legacy path is the
+        global fixed cadence (all layers or none).  The plan only mutates
+        inside :meth:`step`, after the pipeline drained, so the due-set is
+        stable between ``pipeline_specs`` and ``on_pipeline_flush``.
+        """
+        if self.factor_scheduler is not None:
+            return [name for name in self.layers if self.factor_scheduler.factors_due(name, self._steps)]
+        if self._steps % self.factor_update_freq != 0:
+            return []
+        return list(self.layers)
+
     def on_pipeline_flush(self, pipeline) -> None:
         """Mark this iteration's factor stages complete once the pipeline drained."""
-        if self._steps % self.factor_update_freq != 0:
+        required = self._factor_layers_due()
+        if not required:
             return
-        if len(self._pipeline_folded) != len(self.layers):
-            missing = [
-                name for name, layer in self.layers.items() if id(layer) not in self._pipeline_folded
-            ]
+        missing = [name for name in required if id(self.layers[name]) not in self._pipeline_folded]
+        if missing:
             raise RuntimeError(
                 f"gradient pipeline flushed but layers {missing} produced no backward event; "
                 "their factor windows were never folded or allreduced"
@@ -549,11 +756,17 @@ class KFAC(Preconditioner):
             config = self.config.to_dict()
         except ValueError:
             config = None  # custom precision policies have no serializable name
-        return {
+        state: Dict[str, Any] = {
             "steps": self._steps,
             "config": config,
             "layers": {name: layer.state_dict() for name, layer in self.layers.items()},
         }
+        if self.factor_scheduler is not None:
+            state["scheduler"] = self.factor_scheduler.state_dict()
+            state["solvers"] = {name: solver.state_dict() for name, solver in self.solvers.items()}
+        if self.damping_controller is not None:
+            state["damping_controller"] = self.damping_controller.state_dict()
+        return state
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore state saved by :meth:`state_dict`.
@@ -574,6 +787,19 @@ class KFAC(Preconditioner):
         for name, layer in self.layers.items():
             layer.load_state_dict(layer_states[name])
         self._steps = int(state["steps"])
+        # Scheduling-subsystem state: tolerated as absent (checkpoints written
+        # before the scheduler existed, or with adaptive scheduling off) — a
+        # fresh plan restarts at the base cadence, which only affects *when*
+        # work happens, never its numerics.
+        if self.factor_scheduler is not None and state.get("scheduler") is not None:
+            self.factor_scheduler.load_state_dict(state["scheduler"])
+        if self.solvers is not None:
+            for name, solver_state in (state.get("solvers") or {}).items():
+                if name in self.solvers:
+                    self.solvers[name].load_state_dict(solver_state)
+        if self.damping_controller is not None and state.get("damping_controller") is not None:
+            self.damping_controller.load_state_dict(state["damping_controller"])
+            self.damping = self.damping_controller.damping
         # Pipeline bookkeeping refers to this instance's own history, not the
         # checkpoint's: after a restore the next step() must run its factor
         # stages itself unless the pipeline runs them again.
@@ -586,7 +812,8 @@ class KFAC(Preconditioner):
         """Bytes of K-FAC state held on *this* rank (the paper's K-FAC overhead)."""
         factors = sum(layer.factor_bytes() for layer in self.layers.values())
         eigen = sum(layer.eigen_bytes() for layer in self.layers.values())
-        return {"factors": factors, "eigen": eigen, "total": factors + eigen}
+        solver = 0 if self.solvers is None else sum(s.solver_bytes() for s in self.solvers.values())
+        return {"factors": factors, "eigen": eigen, "solver": solver, "total": factors + eigen + solver}
 
     def reset(self) -> None:
         """Drop all factor and eigen state (e.g. between experiments)."""
@@ -599,3 +826,79 @@ class KFAC(Preconditioner):
         self._pipeline_factor_step = -1
         self._pipeline_folded = set()
         self._pipeline_folded_step = -1
+        if self.factor_scheduler is not None:
+            self.factor_scheduler.reset()
+        if self.solvers is not None:
+            for solver in self.solvers.values():
+                solver.reset()
+        if self.damping_controller is not None:
+            self.damping_controller = AdaptiveDampingController(self._base_config.damping)
+            self.damping = self._base_config.damping
+
+    # ------------------------------------------------------------------- stats
+    def scheduler_stats(self) -> Dict[str, Any]:
+        """Scheduling/solver/damping counters for analysis and benchmarks.
+
+        ``factor_update_fraction`` / ``eigen_update_fraction`` are the
+        performed updates relative to what the fixed base cadence would have
+        performed over the same steps — the knob
+        :func:`repro.kfac.analysis.apply_measured_fractions` feeds into the
+        cost model.  The fixed-frequency path reports synthesized counters
+        (fractions exactly 1.0, zero skips) so callers need not branch.
+        """
+        n_layers = len(self.layers)
+        expected_factor = n_layers * self._expected_updates(self.factor_update_freq)
+        expected_eigen = n_layers * self._expected_updates(self.inv_update_freq)
+        stats: Dict[str, Any] = {
+            "enabled": self.factor_scheduler is not None,
+            "steps": self._steps,
+            "damping": {"value": self.damping, "adaptive": self.damping_controller is not None},
+        }
+        if self.damping_controller is not None:
+            stats["damping"].update(self.damping_controller.stats())
+        if self.factor_scheduler is None:
+            per_factor = expected_factor // n_layers if n_layers else 0
+            per_eigen = expected_eigen // n_layers if n_layers else 0
+            stats["layers"] = {
+                name: {
+                    "factor_updates": per_factor,
+                    "eigen_updates": per_eigen,
+                    "factor_skips": 0,
+                    "eigen_skips": 0,
+                    "drift_triggers": 0,
+                    "solver": "eigen",
+                }
+                for name in self.layers
+            }
+            stats["totals"] = {
+                "factor_updates": expected_factor,
+                "eigen_updates": expected_eigen,
+                "factor_skips": 0,
+                "eigen_skips": 0,
+                "drift_triggers": 0,
+            }
+            stats["factor_update_fraction"] = 1.0
+            stats["eigen_update_fraction"] = 1.0
+            return stats
+        layers = self.factor_scheduler.layer_stats()
+        for name, entry in layers.items():
+            solver = self.solvers[name]
+            entry["solver"] = solver.name
+            if hasattr(solver, "total_iterations"):
+                entry["cg_iterations"] = solver.total_iterations
+        totals = self.factor_scheduler.totals()
+        stats["layers"] = layers
+        stats["totals"] = totals
+        stats["factor_update_fraction"] = (
+            totals["factor_updates"] / expected_factor if expected_factor else 1.0
+        )
+        stats["eigen_update_fraction"] = (
+            totals["eigen_updates"] / expected_eigen if expected_eigen else 1.0
+        )
+        return stats
+
+    def _expected_updates(self, freq: int) -> int:
+        """Updates the fixed cadence would have performed in ``self._steps`` steps."""
+        if self._steps <= 0:
+            return 0
+        return -(-self._steps // freq)

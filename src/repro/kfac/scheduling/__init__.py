@@ -1,0 +1,55 @@
+"""Adaptive second-order scheduling: when and how each layer's K-FAC state refreshes.
+
+The paper's F_freq/K_freq knobs (Table 2) refresh every layer's Kronecker
+factors and eigen decompositions on one global fixed cadence.  This package
+makes both decisions per layer and adaptive:
+
+* :class:`FactorUpdateScheduler` tracks the normalized Frobenius drift of
+  each layer's allreduced factors against the factors last consumed by a
+  second-order refresh.  Stale-tolerant layers (drift below ``drift_tol``)
+  have their eigen-recompute interval stretched geometrically, clamped to
+  ``max_staleness``; a drift spike pulls the refresh forward and resets the
+  interval to the configured base cadence.  With ``drift_tol=0`` the plan
+  degenerates to the fixed schedule, bit for bit.
+* :class:`AdaptiveDampingController` adjusts the Tikhonov damping ``γ`` with
+  a Levenberg-Marquardt accept/shrink rule on the ratio of actual to
+  predicted loss reduction, optionally combined with the factor-trace π
+  correction (:func:`repro.kfac.kmath.tikhonov_pi`, after torch-kfac).
+* :class:`SolveStrategy` implementations decide *how* a layer's gradient is
+  preconditioned: the default eigen path, a direct damped inverse, or a
+  warm-started conjugate-gradient solve (:func:`kronecker_cg`) that skips
+  the O(F³) eigen decomposition entirely — the right trade for small layers.
+
+:class:`~repro.kfac.KFAC` drives all three when
+``KFACConfig.adaptive_schedule`` is on (``REPRO_ADAPTIVE=1`` flips the
+default); the fixed-frequency path remains the reference oracle.
+"""
+
+from .damping import MAX_DAMPING, MIN_DAMPING, AdaptiveDampingController
+from .scheduler import FactorUpdateScheduler, factor_drift
+from .solvers import (
+    CGSolveStrategy,
+    EigenSolveStrategy,
+    InverseSolveStrategy,
+    SolveStrategy,
+    available_solve_strategies,
+    kronecker_cg,
+    make_solve_strategy,
+    register_solve_strategy,
+)
+
+__all__ = [
+    "FactorUpdateScheduler",
+    "factor_drift",
+    "AdaptiveDampingController",
+    "MIN_DAMPING",
+    "MAX_DAMPING",
+    "SolveStrategy",
+    "EigenSolveStrategy",
+    "InverseSolveStrategy",
+    "CGSolveStrategy",
+    "available_solve_strategies",
+    "make_solve_strategy",
+    "register_solve_strategy",
+    "kronecker_cg",
+]

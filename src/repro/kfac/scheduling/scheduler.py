@@ -1,0 +1,314 @@
+"""Per-layer factor/eigen update planning with drift-driven interval stretching.
+
+:class:`FactorUpdateScheduler` owns the *when* of second-order maintenance.
+Every rank constructs the identical plan from the allreduced factors (drift
+is measured after the factor allreduce, so the inputs are bitwise identical
+across ranks), which keeps the collective schedules of all ranks in lock
+step without any extra communication.
+
+The plan is queried at three points of an optimization step:
+
+* :meth:`factors_due` — before the forward pass (layer hooks only
+  accumulate statistics on factor-update steps) and again when
+  ``KFAC.step()`` / the gradient pipeline assemble the factor allreduce
+  schedule;
+* :meth:`second_order_due` — after :meth:`observe_factors` ran for every
+  updated layer, deciding which layers refresh their eigen decompositions
+  (or inverse/CG solver state) this step;
+* :meth:`advance` — at the end of the step, for skip bookkeeping.
+
+With ``drift_tol=0`` (the default) no snapshots are kept and the due-steps
+are exactly the fixed ``step % freq == 0`` cadence, so the scheduler path is
+provably equivalent to the fixed-frequency oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FactorUpdateScheduler", "factor_drift"]
+
+_DRIFT_EPS = 1e-12
+
+
+def factor_drift(new: np.ndarray, old: np.ndarray) -> float:
+    """Normalized Frobenius change ``||new - old||_F / ||old||_F`` (float64)."""
+    old64 = old.astype(np.float64)
+    new64 = new.astype(np.float64)
+    denom = float(np.linalg.norm(old64)) + _DRIFT_EPS
+    return float(np.linalg.norm(new64 - old64)) / denom
+
+
+class _LayerSchedule:
+    """Mutable per-layer plan state (one instance per preconditioned layer)."""
+
+    __slots__ = (
+        "next_factor_step",
+        "factor_interval",
+        "next_eigen_step",
+        "eigen_interval",
+        "snapshot_a",
+        "snapshot_g",
+        "last_drift",
+        "last_factor_step",
+        "last_eigen_step",
+        "factor_updates",
+        "eigen_updates",
+        "factor_skips",
+        "eigen_skips",
+        "drift_triggers",
+    )
+
+    def __init__(self, factor_interval: int, eigen_interval: int) -> None:
+        self.next_factor_step = 0
+        self.factor_interval = factor_interval
+        self.next_eigen_step = 0
+        self.eigen_interval = eigen_interval
+        self.snapshot_a: Optional[np.ndarray] = None
+        self.snapshot_g: Optional[np.ndarray] = None
+        self.last_drift: Optional[float] = None
+        self.last_factor_step = -1
+        self.last_eigen_step = -1
+        self.factor_updates = 0
+        self.eigen_updates = 0
+        self.factor_skips = 0
+        self.eigen_skips = 0
+        self.drift_triggers = 0
+
+
+class FactorUpdateScheduler:
+    """Plans per-layer factor and second-order refresh steps.
+
+    Parameters
+    ----------
+    layer_names:
+        Registration-ordered layer names; the plan is keyed by name so it
+        survives checkpoint/resume independently of object identity.
+    factor_update_freq, inv_update_freq:
+        Base cadences (the paper's F_freq and K_freq).  Unlike the fixed
+        path, ``inv_update_freq`` need not be a multiple of
+        ``factor_update_freq`` — a second-order refresh forces a factor
+        update on the same step so decompositions always consume fresh
+        statistics.
+    drift_tol:
+        Normalized Frobenius drift threshold.  ``0`` disables drift tracking
+        entirely (fixed cadence, no snapshots).  With a positive tolerance,
+        a layer whose factors drifted less than ``drift_tol`` since its last
+        refresh doubles its eigen interval (clamped to ``max_staleness``),
+        and a drift above the tolerance pulls the refresh forward to the
+        current step and resets the intervals to their base values.
+    max_staleness:
+        Upper bound (in steps) for a stretched eigen interval.  ``0`` means
+        no stretching: drift can only *accelerate* refreshes.
+    """
+
+    def __init__(
+        self,
+        layer_names: Sequence[str],
+        factor_update_freq: int,
+        inv_update_freq: int,
+        drift_tol: float = 0.0,
+        max_staleness: int = 0,
+    ) -> None:
+        names = list(layer_names)
+        if not names:
+            raise ValueError("FactorUpdateScheduler needs at least one layer")
+        if len(set(names)) != len(names):
+            raise ValueError("layer names must be unique")
+        if factor_update_freq < 1 or inv_update_freq < 1:
+            raise ValueError("update frequencies must be >= 1")
+        if drift_tol < 0.0:
+            raise ValueError("drift_tol must be >= 0")
+        if max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        if max_staleness and max_staleness < inv_update_freq:
+            raise ValueError(
+                f"max_staleness ({max_staleness}) caps the stretched eigen interval and must be "
+                f">= inv_update_freq ({inv_update_freq})"
+            )
+        self.factor_update_freq = int(factor_update_freq)
+        self.inv_update_freq = int(inv_update_freq)
+        self.drift_tol = float(drift_tol)
+        self.max_staleness = int(max_staleness)
+        # Base eigen:factor cadence ratio, used to stretch factor intervals
+        # proportionally with the eigen interval (comm volume drops together
+        # with eigen compute).
+        self._ratio = max(1, round(self.inv_update_freq / self.factor_update_freq))
+        self._layers: Dict[str, _LayerSchedule] = {
+            name: _LayerSchedule(self.factor_update_freq, self.inv_update_freq) for name in names
+        }
+
+    # ----------------------------------------------------------------- plan
+    def layer_names(self) -> List[str]:
+        return list(self._layers)
+
+    def factors_due(self, name: str, step: int) -> bool:
+        """Whether ``name`` folds and allreduces its factors on ``step``.
+
+        A due second-order refresh forces a factor update so the
+        decomposition (or inverse/CG state) consumes fresh statistics.
+        """
+        state = self._layers[name]
+        return step >= state.next_factor_step or step >= state.next_eigen_step
+
+    def second_order_due(self, name: str, step: int) -> bool:
+        """Whether ``name`` refreshes its eigen/inverse state on ``step``."""
+        return step >= self._layers[name].next_eigen_step
+
+    # -------------------------------------------------------------- observe
+    def observe_factors(self, name: str, step: int, factor_a: np.ndarray, factor_g: np.ndarray) -> float:
+        """Record a performed factor update and measure drift (post-allreduce).
+
+        Must be called with the *allreduced* factors so every rank observes
+        identical values and derives the identical plan.  Returns the
+        measured drift (0.0 when drift tracking is off or no snapshot
+        exists yet).  A drift above ``drift_tol`` schedules a second-order
+        refresh for this very step and resets the stretched intervals.
+        """
+        state = self._layers[name]
+        state.factor_updates += 1
+        state.last_factor_step = step
+        drift = 0.0
+        if self.drift_tol > 0.0 and state.snapshot_a is not None:
+            drift = 0.5 * (
+                factor_drift(factor_a, state.snapshot_a) + factor_drift(factor_g, state.snapshot_g)
+            )
+            state.last_drift = drift
+            if drift > self.drift_tol and step < state.next_eigen_step:
+                state.next_eigen_step = step
+                state.eigen_interval = self.inv_update_freq
+                state.factor_interval = self.factor_update_freq
+                state.drift_triggers += 1
+        state.next_factor_step = step + state.factor_interval
+        return drift
+
+    def mark_second_order(self, name: str, step: int, factor_a: np.ndarray, factor_g: np.ndarray) -> None:
+        """Record a performed second-order refresh and schedule the next one.
+
+        When the layer proved stale-tolerant (its last measured drift stayed
+        below ``drift_tol``), the eigen interval doubles up to
+        ``max_staleness`` and the factor interval stretches proportionally;
+        the current factors are snapshotted as the new drift reference.
+        """
+        state = self._layers[name]
+        state.eigen_updates += 1
+        state.last_eigen_step = step
+        if self.drift_tol > 0.0:
+            if (
+                self.max_staleness > self.inv_update_freq
+                and state.last_drift is not None
+                and state.last_drift <= self.drift_tol
+            ):
+                state.eigen_interval = min(state.eigen_interval * 2, self.max_staleness)
+            state.factor_interval = min(
+                state.eigen_interval,
+                max(self.factor_update_freq, state.eigen_interval // self._ratio),
+            )
+            state.snapshot_a = factor_a.astype(np.float32, copy=True)
+            state.snapshot_g = factor_g.astype(np.float32, copy=True)
+        state.next_eigen_step = step + state.eigen_interval
+
+    def advance(self, step: int) -> None:
+        """End-of-step bookkeeping: count base-cadence opportunities skipped."""
+        for state in self._layers.values():
+            if step % self.factor_update_freq == 0 and state.last_factor_step != step:
+                state.factor_skips += 1
+            if step % self.inv_update_freq == 0 and state.last_eigen_step != step:
+                state.eigen_skips += 1
+
+    # ---------------------------------------------------------------- stats
+    def layer_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-layer update/skip counters and the current plan position."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, state in self._layers.items():
+            out[name] = {
+                "factor_updates": state.factor_updates,
+                "eigen_updates": state.eigen_updates,
+                "factor_skips": state.factor_skips,
+                "eigen_skips": state.eigen_skips,
+                "drift_triggers": state.drift_triggers,
+                "last_drift": state.last_drift,
+                "factor_interval": state.factor_interval,
+                "eigen_interval": state.eigen_interval,
+                "next_factor_step": state.next_factor_step,
+                "next_eigen_step": state.next_eigen_step,
+            }
+        return out
+
+    def totals(self) -> Dict[str, int]:
+        keys = ("factor_updates", "eigen_updates", "factor_skips", "eigen_skips", "drift_triggers")
+        sums = {key: 0 for key in keys}
+        for state in self._layers.values():
+            for key in keys:
+                sums[key] += getattr(state, key)
+        return sums
+
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete plan state; restoring it resumes the schedule bit-identically."""
+
+        def copy(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if array is None else array.copy()
+
+        layers = {}
+        for name, state in self._layers.items():
+            layers[name] = {
+                "next_factor_step": state.next_factor_step,
+                "factor_interval": state.factor_interval,
+                "next_eigen_step": state.next_eigen_step,
+                "eigen_interval": state.eigen_interval,
+                "snapshot_a": copy(state.snapshot_a),
+                "snapshot_g": copy(state.snapshot_g),
+                "last_drift": state.last_drift,
+                "last_factor_step": state.last_factor_step,
+                "last_eigen_step": state.last_eigen_step,
+                "factor_updates": state.factor_updates,
+                "eigen_updates": state.eigen_updates,
+                "factor_skips": state.factor_skips,
+                "eigen_skips": state.eigen_skips,
+                "drift_triggers": state.drift_triggers,
+            }
+        return {
+            "factor_update_freq": self.factor_update_freq,
+            "inv_update_freq": self.inv_update_freq,
+            "drift_tol": self.drift_tol,
+            "max_staleness": self.max_staleness,
+            "layers": layers,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        layers = state["layers"]
+        missing = sorted(set(self._layers) - set(layers))
+        unexpected = sorted(set(layers) - set(self._layers))
+        if missing or unexpected:
+            raise ValueError(
+                "scheduler state does not match the registered layers "
+                f"(missing: {missing}, unexpected: {unexpected})"
+            )
+        for name, entry in layers.items():
+            target = self._layers[name]
+            target.next_factor_step = int(entry["next_factor_step"])
+            target.factor_interval = int(entry["factor_interval"])
+            target.next_eigen_step = int(entry["next_eigen_step"])
+            target.eigen_interval = int(entry["eigen_interval"])
+            snap_a = entry["snapshot_a"]
+            snap_g = entry["snapshot_g"]
+            target.snapshot_a = None if snap_a is None else np.asarray(snap_a, dtype=np.float32)
+            target.snapshot_g = None if snap_g is None else np.asarray(snap_g, dtype=np.float32)
+            drift = entry["last_drift"]
+            target.last_drift = None if drift is None else float(drift)
+            target.last_factor_step = int(entry["last_factor_step"])
+            target.last_eigen_step = int(entry["last_eigen_step"])
+            target.factor_updates = int(entry["factor_updates"])
+            target.eigen_updates = int(entry["eigen_updates"])
+            target.factor_skips = int(entry["factor_skips"])
+            target.eigen_skips = int(entry["eigen_skips"])
+            target.drift_triggers = int(entry["drift_triggers"])
+
+    def reset(self) -> None:
+        """Forget all drift/interval state (e.g. between experiments)."""
+        self._layers = {
+            name: _LayerSchedule(self.factor_update_freq, self.inv_update_freq) for name in self._layers
+        }

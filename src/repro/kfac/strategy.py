@@ -457,7 +457,9 @@ class CommOptStrategy(DistributionStrategy):
         layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, group.eigen_worker_a, None, dtype)
         layer.eigen_g = broadcast_eigen_packed(pre.comm, layer.eigen_g, group.eigen_worker_g, None, dtype)
         if pre.compute_eigen_outer:
-            layer.inverse_outer = eigenvalue_outer_product(layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype)
+            layer.inverse_outer = eigenvalue_outer_product(
+                layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype, pi=pre.damping_pi(layer)
+            )
         else:
             layer.inverse_outer = None
 
@@ -481,7 +483,9 @@ class CommOptStrategy(DistributionStrategy):
         # eigenvalue outer product locally from the received decompositions.
         dtype = pre.precision.inverse_dtype
         if pre.compute_eigen_outer:
-            layer.inverse_outer = eigenvalue_outer_product(layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype)
+            layer.inverse_outer = eigenvalue_outer_product(
+                layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype, pi=pre.damping_pi(layer)
+            )
         else:
             layer.inverse_outer = None
 
@@ -546,7 +550,7 @@ class HybridOptStrategy(DistributionStrategy):
 
     def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         if pre.rank == group.eigen_worker:
-            layer.compute_eigen(pre.damping, compute_outer=pre.compute_eigen_outer)
+            layer.compute_eigen(pre.damping, compute_outer=pre.compute_eigen_outer, pi=pre.damping_pi(layer))
 
     def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         # Only the gradient workers receive (and keep) the eigen decompositions

@@ -35,6 +35,13 @@ pipeline is armed only for the *final* micro-batch, so every bucket is
 posted exactly once per optimization step, carrying the accumulated (and
 micro-batch-scaled) gradients.
 
+Subscribers may register a different spec list every arm — K-FAC under
+adaptive scheduling (:mod:`repro.kfac.scheduling`) registers buckets only
+for the layers whose factor refresh is due this step, so skipped layers
+contribute no buckets and no traffic.  The plan a subscriber derives its
+specs from must stay stable from ``arm()`` until ``flush()`` returns; the
+scheduler guarantees this by only mutating the plan inside ``KFAC.step()``.
+
 Setting ``REPRO_HOOK_PIPELINE=1`` makes every :class:`Trainer` construct and
 drive a pipeline by default (the CI hook-pipeline matrix entry).
 """

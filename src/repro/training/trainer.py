@@ -203,7 +203,13 @@ class Trainer:
             self.grad_scaler.unscale_(self.optimizer)
         if self.preconditioner is not None:
             lr = self.optimizer.param_groups[0]["lr"]
-            self.preconditioner.step(lr=lr)
+            if getattr(self.preconditioner, "accepts_loss_feedback", False):
+                # Adaptive-damping preconditioners consume this step's loss
+                # (Levenberg-Marquardt actual-vs-predicted reduction).  Custom
+                # preconditioners without the property keep the plain call.
+                self.preconditioner.step(lr=lr, loss=total_loss / len(micro_batches))
+            else:
+                self.preconditioner.step(lr=lr)
         if self.grad_scaler is not None:
             self.grad_scaler.step(self.optimizer)
             self.grad_scaler.update()

@@ -55,7 +55,9 @@ class TestKFACConfig:
         [
             dict(factor_update_freq=0),
             dict(inv_update_freq=0),
-            dict(factor_update_freq=3, inv_update_freq=10),
+            # The divisibility rule applies only to the fixed-frequency path;
+            # adaptive scheduling legitimately decouples the two cadences.
+            dict(factor_update_freq=3, inv_update_freq=10, adaptive_schedule=False),
             dict(factor_decay=0.0),
             dict(factor_decay=1.5),
             dict(damping=0.0),

@@ -1,0 +1,750 @@
+"""Tests for the adaptive second-order scheduling subsystem.
+
+Covers the `repro.kfac.scheduling` package (drift-driven per-layer update
+planning, Levenberg-Marquardt adaptive damping, inverse-free solve
+strategies), its KFACConfig knobs (including the relaxed frequency
+validation), the scheduler-path-equals-fixed-path bitwise oracle, mid-epoch
+checkpoint resume with drift tracking on under all three distribution
+strategies, and the measured-fraction hooks into the analytic cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.distributed import DistributedDataParallel, run_spmd
+from repro.kfac import (
+    KFAC,
+    AdaptiveDampingController,
+    CGSolveStrategy,
+    EigenSolveStrategy,
+    FactorUpdateScheduler,
+    InverseSolveStrategy,
+    KFACConfig,
+    apply_measured_fractions,
+    available_solve_strategies,
+    factor_drift,
+    kronecker_cg,
+    make_solve_strategy,
+    tikhonov_pi,
+    update_fractions_from_stats,
+)
+from repro.kfac.analysis import IterationTimeModel, KFACWorkloadSpec, model_comm_schedule
+from repro.kfac.kmath import damped_inverse, precondition_with_inverse
+from repro.kfac.strategy import LayerShapeInfo
+from repro.models import MLP
+from repro.tensor import Tensor
+from repro.training import GradientPipeline, Trainer
+
+RNG = np.random.default_rng(303)
+
+
+def make_problem(seed=0, samples=256, in_dim=6, classes=3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((samples, in_dim)).astype(np.float32)
+    w = rng.standard_normal((in_dim, classes)).astype(np.float32)
+    y = (x @ w).argmax(axis=1)
+    return x, y
+
+
+def spd_factor(dim, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((dim, dim)).astype(np.float32)
+    return (m @ m.T / dim * scale + np.eye(dim, dtype=np.float32)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Config knobs
+# ---------------------------------------------------------------------------
+
+
+class TestConfigKnobs:
+    def test_divisibility_relaxed_under_adaptive(self):
+        config = KFACConfig(factor_update_freq=3, inv_update_freq=10, adaptive_schedule=True)
+        assert config.inv_update_freq == 10
+
+    def test_divisibility_enforced_when_static(self):
+        with pytest.raises(ValueError, match="adaptive_schedule=True"):
+            KFACConfig(factor_update_freq=3, inv_update_freq=10, adaptive_schedule=False)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drift_tol=0.1),
+            dict(max_staleness=800),
+            dict(adaptive_damping=True),
+            dict(damping_pi_correction=True),
+            dict(small_layer_dim=16),
+            dict(solve_strategy="cg"),
+        ],
+    )
+    def test_adaptive_knobs_require_adaptive_schedule(self, kwargs):
+        with pytest.raises(ValueError, match="requires adaptive_schedule=True"):
+            KFACConfig(adaptive_schedule=False, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drift_tol=-0.1),
+            dict(max_staleness=-1),
+            dict(max_staleness=50),  # positive but below inv_update_freq=100
+            dict(solve_strategy="cholesky"),
+            dict(small_layer_solver="cholesky"),
+            dict(small_layer_dim=-1),
+            dict(cg_tol=0.0),
+            dict(cg_max_iter=0),
+        ],
+    )
+    def test_invalid_adaptive_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            KFACConfig(adaptive_schedule=True, **kwargs)
+
+    def test_adaptive_preset(self):
+        config = KFACConfig.adaptive()
+        assert config.adaptive_schedule
+        assert config.drift_tol == 0.05
+        assert config.adaptive_damping
+        assert config.damping_pi_correction
+        assert config.small_layer_dim == 32
+        assert config.small_layer_solver == "cg"
+        assert config.max_staleness == 8 * config.inv_update_freq
+        # overrides win, and max_staleness follows an overridden eigen cadence
+        custom = KFACConfig.adaptive(inv_update_freq=20, factor_update_freq=3)
+        assert custom.max_staleness == 160
+        assert KFACConfig.adaptive(max_staleness=500).max_staleness == 500
+
+    def test_round_trip_preserves_adaptive_fields(self):
+        config = KFACConfig.adaptive(drift_tol=0.2, solve_strategy="inverse")
+        assert KFACConfig.from_dict(config.to_dict()) == config
+
+    def test_registry_names(self):
+        assert {"eigen", "inverse", "cg"} <= set(available_solve_strategies())
+
+
+# ---------------------------------------------------------------------------
+# FactorUpdateScheduler
+# ---------------------------------------------------------------------------
+
+
+class TestFactorUpdateScheduler:
+    def run_plan(self, sched, steps, factors):
+        """Drive the scheduler like KFAC.step does; return per-step due sets."""
+        plan = []
+        for step in range(steps):
+            f_due = [n for n in sched.layer_names() if sched.factors_due(n, step)]
+            for name in f_due:
+                sched.observe_factors(name, step, factors[name], factors[name])
+            e_due = [n for n in sched.layer_names() if sched.second_order_due(n, step)]
+            for name in e_due:
+                sched.mark_second_order(name, step, factors[name], factors[name])
+            sched.advance(step)
+            plan.append((tuple(f_due), tuple(e_due)))
+        return plan
+
+    def test_zero_drift_tol_matches_fixed_cadence(self):
+        sched = FactorUpdateScheduler(["a", "b"], factor_update_freq=3, inv_update_freq=6)
+        factors = {"a": spd_factor(4, 1), "b": spd_factor(5, 2)}
+        plan = self.run_plan(sched, 20, factors)
+        for step, (f_due, e_due) in enumerate(plan):
+            expected_f = ("a", "b") if step % 3 == 0 else ()
+            expected_e = ("a", "b") if step % 6 == 0 else ()
+            assert f_due == expected_f
+            assert e_due == expected_e
+        totals = sched.totals()
+        assert totals["factor_skips"] == 0 and totals["eigen_skips"] == 0
+        assert totals["drift_triggers"] == 0
+
+    def test_second_order_due_forces_factor_update(self):
+        # inv freq not a multiple of factor freq: the eigen step at 10 is not
+        # a base factor step, but factors must refresh with it.
+        sched = FactorUpdateScheduler(["a"], factor_update_freq=3, inv_update_freq=10)
+        factors = {"a": spd_factor(4, 1)}
+        plan = self.run_plan(sched, 12, factors)
+        assert plan[10] == (("a",), ("a",))
+
+    def test_drift_pulls_refresh_forward(self):
+        sched = FactorUpdateScheduler(
+            ["a"], factor_update_freq=1, inv_update_freq=6, drift_tol=0.05
+        )
+        base = spd_factor(4, 1)
+        # Step 0: factor + eigen refresh, snapshot taken.
+        assert sched.factors_due("a", 0)
+        sched.observe_factors("a", 0, base, base)
+        assert sched.second_order_due("a", 0)
+        sched.mark_second_order("a", 0, base, base)
+        sched.advance(0)
+        # Step 1: same factors -> tiny drift, no refresh due.
+        sched.observe_factors("a", 1, base, base)
+        assert not sched.second_order_due("a", 1)
+        sched.advance(1)
+        # Step 2: factors change massively -> refresh pulled to *this* step.
+        shifted = (base * 10.0).astype(np.float32)
+        drift = sched.observe_factors("a", 2, shifted, shifted)
+        assert drift > 0.05
+        assert sched.second_order_due("a", 2)
+        assert sched.totals()["drift_triggers"] == 1
+
+    def test_stale_layer_stretches_interval_to_cap(self):
+        sched = FactorUpdateScheduler(
+            ["a"], factor_update_freq=1, inv_update_freq=2, drift_tol=0.5, max_staleness=8
+        )
+        base = spd_factor(4, 1)
+        factors = {"a": base}
+        self.run_plan(sched, 30, factors)
+        stats = sched.layer_stats()["a"]
+        # Zero drift forever: the eigen interval doubles 2 -> 4 -> 8 and caps.
+        assert stats["eigen_interval"] == 8
+        assert stats["eigen_skips"] > 0
+        totals = sched.totals()
+        fixed_eigen_updates = 15  # steps 0,2,...,28
+        assert totals["eigen_updates"] < fixed_eigen_updates
+
+    def test_state_dict_round_trip_continues_identically(self):
+        def build():
+            return FactorUpdateScheduler(
+                ["a", "b"], factor_update_freq=1, inv_update_freq=2, drift_tol=0.3, max_staleness=8
+            )
+
+        factors = {"a": spd_factor(4, 1), "b": spd_factor(3, 2)}
+        runner = TestFactorUpdateScheduler()
+        original = build()
+        runner.run_plan(original, 7, factors)
+        resumed = build()
+        resumed.load_state_dict(original.state_dict())
+        plan_a = runner.run_plan(original, 9, factors)
+        plan_b = runner.run_plan(resumed, 9, factors)
+        # run_plan continues from step 0 of its loop; both instances share the
+        # same internal next-step state, so the due sets must match exactly.
+        assert plan_a == plan_b
+        assert original.totals() == resumed.totals()
+
+    def test_layer_mismatch_raises(self):
+        sched = FactorUpdateScheduler(["a"], 1, 2)
+        other = FactorUpdateScheduler(["b"], 1, 2)
+        with pytest.raises(ValueError, match="does not match"):
+            sched.load_state_dict(other.state_dict())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactorUpdateScheduler([], 1, 2)
+        with pytest.raises(ValueError):
+            FactorUpdateScheduler(["a", "a"], 1, 2)
+        with pytest.raises(ValueError):
+            FactorUpdateScheduler(["a"], 1, 10, max_staleness=5)
+
+    def test_factor_drift_normalization(self):
+        base = spd_factor(4, 3)
+        assert factor_drift(base, base) == 0.0
+        assert factor_drift(base * 2.0, base) == pytest.approx(1.0, rel=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+
+class TestSolvers:
+    def test_kronecker_cg_matches_direct_inverse(self):
+        a = spd_factor(6, 1)
+        g = spd_factor(4, 2)
+        rhs = np.random.default_rng(3).standard_normal((4, 6)).astype(np.float32)
+        solution, iters = kronecker_cg(a, g, rhs, 0.01, 0.01, tol=1e-12, max_iter=200)
+        inv_a = np.linalg.inv(a.astype(np.float64) + 0.01 * np.eye(6))
+        inv_g = np.linalg.inv(g.astype(np.float64) + 0.01 * np.eye(4))
+        expected = inv_g @ rhs.astype(np.float64) @ inv_a
+        np.testing.assert_allclose(solution, expected, rtol=1e-6, atol=1e-8)
+        assert iters > 0
+
+    def test_kronecker_cg_warm_start_converges_faster(self):
+        a = spd_factor(8, 1)
+        g = spd_factor(8, 2)
+        rhs = np.random.default_rng(3).standard_normal((8, 8)).astype(np.float32)
+        cold, cold_iters = kronecker_cg(a, g, rhs, 0.01, 0.01, tol=1e-10, max_iter=500)
+        # Slightly perturbed right-hand side, seeded with the previous answer.
+        rhs2 = rhs + 1e-4 * np.random.default_rng(4).standard_normal(rhs.shape).astype(np.float32)
+        _, warm_iters = kronecker_cg(a, g, rhs2, 0.01, 0.01, x0=cold, tol=1e-10, max_iter=500)
+        _, cold2_iters = kronecker_cg(a, g, rhs2, 0.01, 0.01, tol=1e-10, max_iter=500)
+        assert warm_iters < cold2_iters
+
+    def test_make_solve_strategy(self):
+        assert isinstance(make_solve_strategy("eigen"), EigenSolveStrategy)
+        assert isinstance(make_solve_strategy("inverse"), InverseSolveStrategy)
+        cg = make_solve_strategy("cg", tol=1e-6, max_iter=7)
+        assert isinstance(cg, CGSolveStrategy)
+        assert cg.max_iter == 7
+        with pytest.raises(ValueError, match="unknown solve strategy"):
+            make_solve_strategy("cholesky")
+
+    def test_cg_state_round_trip(self):
+        solver = CGSolveStrategy()
+        solver.last_solution = np.ones((3, 3), dtype=np.float64)
+        solver.total_iterations = 12
+        clone = CGSolveStrategy()
+        clone.load_state_dict(solver.state_dict())
+        np.testing.assert_array_equal(clone.last_solution, solver.last_solution)
+        assert clone.total_iterations == 12
+        clone.reset()
+        assert clone.last_solution is None and clone.total_iterations == 0
+
+    def test_tikhonov_pi(self):
+        a = spd_factor(4, 1, scale=4.0)
+        g = spd_factor(4, 2, scale=0.25)
+        pi = tikhonov_pi(a, g)
+        assert pi > 1.0  # A carries more trace mass per dim than G
+        assert tikhonov_pi(np.zeros((3, 3)), g) == 1.0  # degenerate -> neutral
+
+
+# ---------------------------------------------------------------------------
+# Adaptive damping controller
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveDamping:
+    def test_good_prediction_shrinks_damping(self):
+        ctl = AdaptiveDampingController(0.01)
+        ctl.record_prediction(loss=1.0, predicted_reduction=0.1)
+        # Actual reduction matches the prediction: rho = 1 > 0.75 -> shrink.
+        damping = ctl.observe_loss(0.9)
+        assert damping == pytest.approx(0.009)
+        assert ctl.shrinks == 1 and ctl.grows == 0
+
+    def test_overpromise_grows_damping(self):
+        ctl = AdaptiveDampingController(0.01)
+        ctl.record_prediction(loss=1.0, predicted_reduction=0.1)
+        # Loss barely moved: rho = 0.1 < 0.25 -> grow.
+        damping = ctl.observe_loss(0.99)
+        assert damping == pytest.approx(0.01 / 0.9)
+        assert ctl.grows == 1
+
+    def test_neutral_band_keeps_damping(self):
+        ctl = AdaptiveDampingController(0.01)
+        ctl.record_prediction(loss=1.0, predicted_reduction=0.1)
+        assert ctl.observe_loss(0.95) == 0.01  # rho = 0.5, inside the band
+
+    def test_clamped_to_bounds(self):
+        ctl = AdaptiveDampingController(1e-8)
+        for _ in range(50):
+            ctl.record_prediction(loss=1.0, predicted_reduction=0.1)
+            ctl.observe_loss(0.9)
+        assert ctl.damping >= ctl.min_damping
+
+    def test_state_round_trip_preserves_pending(self):
+        ctl = AdaptiveDampingController(0.01)
+        ctl.record_prediction(loss=1.0, predicted_reduction=0.1)
+        clone = AdaptiveDampingController(0.5)
+        clone.load_state_dict(ctl.state_dict())
+        assert clone.damping == 0.01
+        # The pending prediction survives, so the next observe adjusts.
+        assert clone.observe_loss(0.9) == pytest.approx(0.009)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDampingController(0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDampingController(0.01, shrink_factor=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveDampingController(0.01, rho_low=0.8, rho_high=0.2)
+
+
+# ---------------------------------------------------------------------------
+# KFAC integration
+# ---------------------------------------------------------------------------
+
+
+def run_single_process(pre, model, steps=9, seed=7, with_loss=False):
+    """Drive `steps` preconditioned steps; return per-step flattened grads."""
+    loss_fn = nn.CrossEntropyLoss()
+    x, y = make_problem(seed, samples=128, in_dim=6, classes=3)
+    rng = np.random.default_rng(seed + 1)
+    grads = []
+    for _ in range(steps):
+        idx = rng.integers(0, len(x), 32)
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(x[idx])), y[idx])
+        loss.backward()
+        if with_loss and pre.accepts_loss_feedback:
+            pre.step(loss=float(loss.item()))
+        else:
+            pre.step()
+        grads.append(np.concatenate([np.asarray(p.grad).ravel().copy() for p in model.parameters()]))
+    return grads
+
+
+class TestKFACSchedulerIntegration:
+    def paired_models(self):
+        m1 = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        m2 = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        return m1, m2
+
+    def test_scheduler_path_bitwise_equals_fixed_path(self):
+        """Acceptance criterion: drift_tol=0 + fixed frequencies -> the
+        scheduler path is bitwise identical to the legacy fixed path."""
+        m1, m2 = self.paired_models()
+        fixed = KFAC.from_config(m1, KFACConfig(factor_update_freq=2, inv_update_freq=4, adaptive_schedule=False))
+        adaptive = KFAC.from_config(m2, KFACConfig(factor_update_freq=2, inv_update_freq=4, adaptive_schedule=True))
+        for a, b in zip(run_single_process(fixed, m1), run_single_process(adaptive, m2)):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("grad_worker_frac", [0.25, 0.5, 1.0])
+    def test_scheduler_path_bitwise_equals_fixed_path_distributed(self, grad_worker_frac):
+        x_global, y_global = make_problem(17, samples=256, in_dim=6, classes=3)
+
+        def make_config(adaptive):
+            return KFACConfig(
+                lr=0.05,
+                factor_update_freq=2,
+                inv_update_freq=4,
+                grad_worker_frac=grad_worker_frac,
+                adaptive_schedule=adaptive,
+            )
+
+        def program(comm):
+            loss_fn = nn.CrossEntropyLoss()
+            outputs = []
+            for adaptive in (False, True):
+                model = MLP(6, [16], 3, rng=np.random.default_rng(42))
+                ddp = DistributedDataParallel(model, comm)
+                pre = KFAC.from_config(model, make_config(adaptive), comm=comm)
+                batch_rng = np.random.default_rng(99)
+                grads = []
+                for _ in range(6):
+                    indices = batch_rng.integers(0, len(x_global), 32)
+                    local = indices[comm.rank :: comm.world_size]
+                    model.zero_grad()
+                    loss_fn(model(Tensor(x_global[local])), y_global[local]).backward()
+                    ddp.sync_gradients()
+                    pre.step()
+                    grads.append(np.concatenate([p.grad.ravel().copy() for p in model.parameters()]))
+                outputs.append(grads)
+            return outputs
+
+        for fixed_grads, adaptive_grads in run_spmd(4, program):
+            for a, b in zip(fixed_grads, adaptive_grads):
+                np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("grad_worker_frac", [0.25, 0.5, 1.0])
+    def test_adaptive_resume_mid_epoch_bitwise_all_strategies(self, grad_worker_frac):
+        """Satellite criterion: checkpointing mid-epoch with drift tracking,
+        interval stretching, adaptive damping and the π correction all on
+        resumes bit-identically under MEM-OPT, HYBRID-OPT and COMM-OPT."""
+        x_global, y_global = make_problem(23, samples=256, in_dim=6, classes=3)
+        config = KFACConfig(
+            lr=0.05,
+            factor_update_freq=1,
+            inv_update_freq=2,
+            grad_worker_frac=grad_worker_frac,
+            adaptive_schedule=True,
+            drift_tol=0.05,
+            max_staleness=8,
+            adaptive_damping=True,
+            damping_pi_correction=True,
+        )
+
+        def program(comm):
+            loss_fn = nn.CrossEntropyLoss()
+            model = MLP(6, [16], 3, rng=np.random.default_rng(comm.rank + 1))
+            ddp = DistributedDataParallel(model, comm)
+            pre = KFAC.from_config(model, config, comm=comm)
+            batch_rng = np.random.default_rng(77)
+
+            def one_step(mdl, sync, precond, indices):
+                local = indices[comm.rank :: comm.world_size]
+                mdl.zero_grad()
+                loss = loss_fn(mdl(Tensor(x_global[local])), y_global[local])
+                loss.backward()
+                sync.sync_gradients()
+                precond.step(loss=float(loss.item()))
+                return np.concatenate([p.grad.ravel().copy() for p in mdl.parameters()])
+
+            # 5 warmup steps: mid-cycle w.r.t. both cadences and the drift plan.
+            for _ in range(5):
+                one_step(model, ddp, pre, batch_rng.integers(0, len(x_global), 32))
+            checkpoint = pre.state_dict()
+            model_state = model.state_dict()
+            future_batches = [batch_rng.integers(0, len(x_global), 32) for _ in range(4)]
+
+            grads_original = [one_step(model, ddp, pre, batch) for batch in future_batches]
+
+            restored = MLP(6, [16], 3, rng=np.random.default_rng(1234 + comm.rank))
+            restored.load_state_dict(model_state)
+            restored_ddp = DistributedDataParallel(restored, comm)
+            pre2 = KFAC.from_config(restored, config, comm=comm)
+            pre2.load_state_dict(checkpoint)
+            grads_restored = [one_step(restored, restored_ddp, pre2, batch) for batch in future_batches]
+            return grads_original, grads_restored
+
+        for grads_original, grads_restored in run_spmd(4, program):
+            for a, b in zip(grads_original, grads_restored):
+                np.testing.assert_array_equal(a, b)
+
+    def test_adaptive_schedule_skips_eigen_work(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            factor_update_freq=1,
+            inv_update_freq=2,
+            adaptive_schedule=True,
+            drift_tol=1.0,  # everything is stale-tolerant -> maximal stretch
+            max_staleness=8,
+        )
+        pre = KFAC.from_config(model, config)
+        run_single_process(pre, model, steps=16)
+        stats = pre.scheduler_stats()
+        assert stats["enabled"]
+        assert stats["totals"]["eigen_skips"] > 0
+        assert stats["eigen_update_fraction"] < 1.0
+        assert stats["factor_update_fraction"] <= 1.0
+        for entry in stats["layers"].values():
+            assert entry["solver"] == "eigen"
+
+    def test_fixed_path_scheduler_stats_are_neutral(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        pre = KFAC.from_config(model, KFACConfig(factor_update_freq=2, inv_update_freq=4, adaptive_schedule=False))
+        run_single_process(pre, model, steps=5)
+        stats = pre.scheduler_stats()
+        assert not stats["enabled"]
+        assert stats["factor_update_fraction"] == 1.0
+        assert stats["eigen_update_fraction"] == 1.0
+        assert stats["totals"]["eigen_skips"] == 0
+        assert stats["totals"]["factor_updates"] == 2 * 3  # 2 layers x steps {0,2,4}
+
+    def test_small_layer_routing(self):
+        # First Linear: a_dim=5, g_dim=4 (<= 8 -> cg); second: a_dim=5, g_dim=16.
+        model = MLP(4, [4], 16, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            adaptive_schedule=True, small_layer_dim=8, small_layer_solver="cg"
+        )
+        pre = KFAC.from_config(model, config)
+        names = {pre.solvers[name].name for name in pre.solvers}
+        assert names == {"cg", "eigen"}
+        by_dim = {max(layer.a_dim, layer.g_dim): pre.solvers[name].name for name, layer in pre.layers.items()}
+        assert by_dim[5] == "cg"
+        assert by_dim[16] == "eigen"
+
+    @pytest.mark.parametrize("solver", ["inverse", "cg"])
+    def test_inverse_free_solvers_approximate_eigen_path(self, solver):
+        # With the π-corrected damping split, the eigen outer product equals
+        # (G + γ_g I)^-1 ⊗ (A + γ_a I)^-1 exactly — the same damped system the
+        # inverse and CG strategies solve — so the paths agree to solver
+        # precision.  (Without π the legacy eigen path dampens in product
+        # space, λ_G λ_A + γ, which is a genuinely different approximation.)
+        m1, m2 = self.paired_models()
+        eigen_pre = KFAC.from_config(
+            m1,
+            KFACConfig(
+                factor_update_freq=1,
+                inv_update_freq=1,
+                adaptive_schedule=True,
+                damping_pi_correction=True,
+            ),
+        )
+        alt_pre = KFAC.from_config(
+            m2,
+            KFACConfig(
+                factor_update_freq=1,
+                inv_update_freq=1,
+                adaptive_schedule=True,
+                damping_pi_correction=True,
+                solve_strategy=solver,
+                cg_tol=1e-10,
+                cg_max_iter=200,
+            ),
+        )
+        g1 = run_single_process(eigen_pre, m1, steps=3)
+        g2 = run_single_process(alt_pre, m2, steps=3)
+        for a, b in zip(g1, g2):
+            np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-5)
+
+    def test_inverse_solver_reports_memory(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            factor_update_freq=1, inv_update_freq=1, adaptive_schedule=True, solve_strategy="inverse"
+        )
+        pre = KFAC.from_config(model, config)
+        run_single_process(pre, model, steps=2)
+        usage = pre.memory_usage()
+        assert usage["solver"] > 0
+        assert usage["total"] == usage["factors"] + usage["eigen"] + usage["solver"]
+
+    def test_pi_correction_changes_but_preserves_descent(self):
+        m1, m2 = self.paired_models()
+        plain = KFAC.from_config(
+            m1, KFACConfig(factor_update_freq=1, inv_update_freq=1, adaptive_schedule=True)
+        )
+        corrected = KFAC.from_config(
+            m2,
+            KFACConfig(
+                factor_update_freq=1, inv_update_freq=1, adaptive_schedule=True, damping_pi_correction=True
+            ),
+        )
+        loss_fn = nn.CrossEntropyLoss()
+        x, y = make_problem(31, samples=64, in_dim=6, classes=3)
+        for model, pre in ((m1, plain), (m2, corrected)):
+            model.zero_grad()
+            loss_fn(model(Tensor(x)), y).backward()
+            raw = [np.asarray(p.grad, dtype=np.float64).copy() for p in model.parameters()]
+            pre.step()
+            precond = [np.asarray(p.grad, dtype=np.float64) for p in model.parameters()]
+            assert all(np.isfinite(g).all() for g in precond)
+            # Positive-definite preconditioner: still a descent direction.
+            inner = sum(float(np.sum(r * p)) for r, p in zip(raw, precond))
+            assert inner > 0.0
+        g_plain = np.concatenate([p.grad.ravel() for p in m1.parameters()])
+        g_pi = np.concatenate([p.grad.ravel() for p in m2.parameters()])
+        assert not np.array_equal(g_plain, g_pi)
+
+    def test_adaptive_damping_moves_damping_in_training(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            factor_update_freq=1, inv_update_freq=1, adaptive_schedule=True, adaptive_damping=True
+        )
+        pre = KFAC.from_config(model, config)
+        assert pre.accepts_loss_feedback
+        run_single_process(pre, model, steps=10, with_loss=True)
+        stats = pre.scheduler_stats()["damping"]
+        assert stats["adaptive"]
+        assert stats["shrinks"] + stats["grows"] > 0
+        assert pre.damping != config.damping
+
+    def test_trainer_feeds_loss_to_adaptive_damping(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            lr=0.05, factor_update_freq=1, inv_update_freq=1, adaptive_schedule=True, adaptive_damping=True
+        )
+        pre = KFAC.from_config(model, config)
+        optimizer = optim.SGD(model.parameters(), lr=0.05)
+        loss_fn = nn.CrossEntropyLoss()
+        x, y = make_problem(37, samples=64, in_dim=6, classes=3)
+
+        def forward_loss(mdl, batch):
+            data, target = batch
+            return loss_fn(mdl(Tensor(data)), target)
+
+        trainer = Trainer(model, optimizer, forward_loss, preconditioner=pre, pipeline=None)
+        for _ in range(6):
+            trainer.train_step((x[:32], y[:32]))
+        stats = pre.scheduler_stats()["damping"]
+        assert stats["shrinks"] + stats["grows"] > 0
+
+    def test_hook_pipeline_matches_step_time_path_with_drift(self):
+        """Plan-filtered pipeline specs: with layers skipping factor updates,
+        the hook-driven pipeline stays bitwise identical to the synchronous
+        scheduler path."""
+        config = KFACConfig(
+            lr=0.05,
+            factor_update_freq=1,
+            inv_update_freq=2,
+            adaptive_schedule=True,
+            drift_tol=1.0,
+            max_staleness=8,
+        )
+        loss_fn = nn.CrossEntropyLoss()
+        x, y = make_problem(41, samples=128, in_dim=6, classes=3)
+
+        def forward_loss(mdl, batch):
+            data, target = batch
+            return loss_fn(mdl(Tensor(data)), target)
+
+        results = []
+        for hooked in (False, True):
+            model = MLP(6, [16], 3, rng=np.random.default_rng(9))
+            pre = KFAC.from_config(model, config)
+            optimizer = optim.SGD(model.parameters(), lr=0.05)
+            pipeline = GradientPipeline(model) if hooked else None
+            trainer = Trainer(model, optimizer, forward_loss, preconditioner=pre, pipeline=pipeline)
+            losses = [trainer.train_step((x[:32], y[:32])) for _ in range(12)]
+            results.append(
+                (losses, np.concatenate([np.asarray(p.data, dtype=np.float64).ravel().copy() for p in model.parameters()]))
+            )
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        np.testing.assert_array_equal(results[0][1], results[1][1])
+
+    def test_scheduler_state_survives_via_from_config_round_trip(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig.adaptive(factor_update_freq=1, inv_update_freq=2, max_staleness=16)
+        pre = KFAC.from_config(model, config)
+        run_single_process(pre, model, steps=5, with_loss=True)
+        state = pre.state_dict()
+        assert "scheduler" in state and "solvers" in state and "damping_controller" in state
+        # Config dict in the state round-trips all the adaptive knobs.
+        assert KFACConfig.from_dict(state["config"]).drift_tol == config.drift_tol
+
+    def test_reset_clears_scheduling_state(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig.adaptive(factor_update_freq=1, inv_update_freq=2, max_staleness=16)
+        pre = KFAC.from_config(model, config)
+        run_single_process(pre, model, steps=4, with_loss=True)
+        pre.reset()
+        assert pre.scheduler_stats()["totals"]["factor_updates"] == 0
+        assert pre.damping == config.damping
+
+
+# ---------------------------------------------------------------------------
+# Cost-model integration
+# ---------------------------------------------------------------------------
+
+
+class TestModeledFractions:
+    def small_spec(self, **overrides):
+        layers = [
+            LayerShapeInfo(name="fc1", a_dim=33, g_dim=64, grad_numel=33 * 64),
+            LayerShapeInfo(name="fc2", a_dim=65, g_dim=10, grad_numel=65 * 10),
+        ]
+        defaults = dict(
+            name="toy",
+            layers=layers,
+            param_count=sum(l.grad_numel for l in layers),
+            local_batch_size=32,
+            baseline_compute_time=0.1,
+            factor_update_freq=10,
+            inv_update_freq=100,
+        )
+        defaults.update(overrides)
+        return KFACWorkloadSpec(**defaults)
+
+    def test_fractions_scale_stage_times(self):
+        model = IterationTimeModel()
+        full = model.kfac_breakdown(self.small_spec(), world_size=8, grad_worker_frac=1.0)
+        half = model.kfac_breakdown(
+            self.small_spec(factor_update_fraction=0.5, eigen_update_fraction=0.25),
+            world_size=8,
+            grad_worker_frac=1.0,
+        )
+        assert half.factor_compute == pytest.approx(full.factor_compute * 0.5)
+        assert half.factor_allreduce == pytest.approx(full.factor_allreduce * 0.5)
+        assert half.eigen_decomposition == pytest.approx(full.eigen_decomposition * 0.25)
+        assert half.eigen_broadcast == pytest.approx(full.eigen_broadcast * 0.25)
+        assert half.precondition == full.precondition  # per-iteration stages untouched
+
+    def test_fractions_scale_comm_schedule(self):
+        full = model_comm_schedule(self.small_spec(), world_size=8, grad_worker_frac=0.5)
+        skipped = model_comm_schedule(
+            self.small_spec(factor_update_fraction=0.5, eigen_update_fraction=0.5),
+            world_size=8,
+            grad_worker_frac=0.5,
+        )
+        assert skipped.kfac_comm_time < full.kfac_comm_time
+        assert skipped.iteration_time < full.iteration_time
+
+    def test_apply_measured_fractions_from_live_run(self):
+        model = MLP(6, [16], 3, rng=np.random.default_rng(5))
+        config = KFACConfig(
+            factor_update_freq=1,
+            inv_update_freq=2,
+            adaptive_schedule=True,
+            drift_tol=1.0,
+            max_staleness=8,
+        )
+        pre = KFAC.from_config(model, config)
+        run_single_process(pre, model, steps=16)
+        stats = pre.scheduler_stats()
+        factor_fraction, eigen_fraction = update_fractions_from_stats(stats)
+        assert eigen_fraction < 1.0
+        spec = apply_measured_fractions(self.small_spec(), stats)
+        assert spec.eigen_update_fraction == eigen_fraction
+        assert spec.factor_update_fraction == factor_fraction
+        lean = IterationTimeModel().kfac_breakdown(spec, world_size=8, grad_worker_frac=1.0)
+        full = IterationTimeModel().kfac_breakdown(self.small_spec(), world_size=8, grad_worker_frac=1.0)
+        assert lean.eigen_decomposition < full.eigen_decomposition
+
+    def test_neutral_stats_default_to_unity(self):
+        assert update_fractions_from_stats({}) == (1.0, 1.0)
