@@ -20,13 +20,12 @@ the measured skip fractions are mapped onto the BERT-Large modeled spec via
 ``BENCH_adaptive_schedule.json``.
 """
 
-import json
 from pathlib import Path
 
 import numpy as np
 
 from repro import nn, optim
-from repro.experiments import build_workload, format_table, paper_workload_spec
+from repro.experiments import build_workload, format_table, paper_workload_spec, write_bench_json
 from repro.kfac import (
     KFAC,
     KFACConfig,
@@ -226,34 +225,33 @@ def test_adaptive_schedule_vs_fixed_cadence(benchmark):
     # ...at (approximately) equal final loss.
     assert abs(adaptive_final - fixed_final) <= 0.05 * fixed_final
 
-    ADAPTIVE_OUTPUT.write_text(
-        json.dumps(
-            {
-                "live_workload": "bert",
-                "steps": ADAPTIVE_STEPS,
-                "modeled_workload": spec.name,
-                "world_size": WORLD_SIZE,
-                "grad_worker_frac": 1.0,
-                "fixed": {
-                    "final_loss": fixed_final,
-                    "eigendecompositions": fixed_eigen,
-                    "factor_updates": fixed_factor,
-                    "modeled_eigen_time": fixed_breakdown.eigen_decomposition,
-                    "modeled_factor_allreduce_time": fixed_breakdown.factor_allreduce,
-                    "modeled_factor_comm_bytes_per_iter": fixed_factor_bytes,
-                },
-                "adaptive": {
-                    "final_loss": adaptive_final,
-                    "eigendecompositions": adaptive_eigen,
-                    "factor_updates": adaptive_factor,
-                    "eigen_update_fraction": eigen_fraction,
-                    "factor_update_fraction": factor_fraction,
-                    "damping": adaptive_stats["damping"],
-                    "modeled_eigen_time": adaptive_breakdown.eigen_decomposition,
-                    "modeled_factor_allreduce_time": adaptive_breakdown.factor_allreduce,
-                    "modeled_factor_comm_bytes_per_iter": adaptive_factor_bytes,
-                },
+    write_bench_json(
+        ADAPTIVE_OUTPUT,
+        "adaptive_schedule",
+        {
+            "live_workload": "bert",
+            "steps": ADAPTIVE_STEPS,
+            "modeled_workload": spec.name,
+            "world_size": WORLD_SIZE,
+            "grad_worker_frac": 1.0,
+            "fixed": {
+                "final_loss": fixed_final,
+                "eigendecompositions": fixed_eigen,
+                "factor_updates": fixed_factor,
+                "modeled_eigen_time": fixed_breakdown.eigen_decomposition,
+                "modeled_factor_allreduce_time": fixed_breakdown.factor_allreduce,
+                "modeled_factor_comm_bytes_per_iter": fixed_factor_bytes,
             },
-            indent=2,
-        )
+            "adaptive": {
+                "final_loss": adaptive_final,
+                "eigendecompositions": adaptive_eigen,
+                "factor_updates": adaptive_factor,
+                "eigen_update_fraction": eigen_fraction,
+                "factor_update_fraction": factor_fraction,
+                "damping": adaptive_stats["damping"],
+                "modeled_eigen_time": adaptive_breakdown.eigen_decomposition,
+                "modeled_factor_allreduce_time": adaptive_breakdown.factor_allreduce,
+                "modeled_factor_comm_bytes_per_iter": adaptive_factor_bytes,
+            },
+        },
     )

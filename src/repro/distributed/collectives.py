@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observability import NULL_TRACER
 from .backend import Communicator, WorkHandle
 
 __all__ = [
@@ -238,10 +239,13 @@ class OverlapScheduler:
     posted so far, in posting order.
     """
 
-    def __init__(self, comm: Communicator, bucket_cap_mb: float = 25.0) -> None:
+    def __init__(self, comm: Communicator, bucket_cap_mb: float = 25.0, tracer=None) -> None:
         self.comm = comm
         self.buckets = BucketManager(bucket_cap_mb)
-        self._in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, object]]] = []
+        # Per-rank tracer: every posted bucket records a post->finish span
+        # (category "comm"), the raw material for measured-overlap reporting.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, object], Tuple[str, int, float]]] = []
 
     # ------------------------------------------------------------- internals
     def _group_members(self, group: Optional[Tuple[int, ...]]) -> Tuple[int, ...]:
@@ -295,7 +299,8 @@ class OverlapScheduler:
                     flat, src=src, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
-                self._in_flight.append((handle, bucket, spec_by_key))
+                posted = ("broadcast", len(members), self.tracer.now() if self.tracer.enabled else 0.0)
+                self._in_flight.append((handle, bucket, spec_by_key, posted))
 
     def run_broadcasts(self, specs: Sequence[BroadcastSpec]) -> None:
         """Fuse and execute a broadcast schedule (post + drain)."""
@@ -333,7 +338,8 @@ class OverlapScheduler:
                     flat, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
-                self._in_flight.append((handle, bucket, spec_by_key))
+                posted = ("allreduce", len(members), self.tracer.now() if self.tracer.enabled else 0.0)
+                self._in_flight.append((handle, bucket, spec_by_key, posted))
 
     def run_allreduces(self, specs: Sequence[AllreduceSpec]) -> None:
         """Fuse and execute an allreduce-average schedule (post + drain)."""
@@ -344,8 +350,9 @@ class OverlapScheduler:
     def drain(self) -> None:
         """Await every posted bucket in posting order and dispatch callbacks."""
         in_flight, self._in_flight = self._in_flight, []
-        for handle, bucket, spec_by_key in in_flight:
+        for handle, bucket, spec_by_key, posted in in_flight:
             result = bucket.unpack(handle.wait())
+            self._record_comm_span(bucket, posted)
             for entry in bucket.entries:
                 spec = spec_by_key[entry.key]
                 if spec.on_complete is not None:
@@ -360,5 +367,30 @@ class OverlapScheduler:
         no stale result is installed.
         """
         in_flight, self._in_flight = self._in_flight, []
-        for handle, _bucket, _spec_by_key in in_flight:
+        for handle, bucket, _spec_by_key, posted in in_flight:
             handle.wait()
+            self._record_comm_span(bucket, posted, discarded=True)
+
+    def _record_comm_span(self, bucket: TensorBucket, posted: Tuple[str, int, float], discarded: bool = False) -> None:
+        """Record the post->finish window of one fused bucket on the tracer.
+
+        The interval covers the collective's entire in-flight life on this
+        rank — from the nonblocking post (possibly mid-backward) to the
+        moment its result was awaited — which is exactly the window measured
+        overlap reporting intersects with the backward spans.
+        """
+        if not self.tracer.enabled:
+            return
+        op, group_size, t_post = posted
+        self.tracer.record_span(
+            f"comm/{op}",
+            start=t_post,
+            end=self.tracer.now(),
+            category="comm",
+            lane="comm",
+            op=op,
+            nbytes=bucket.nbytes,
+            fused_count=len(bucket),
+            group_size=group_size,
+            discarded=discarded,
+        )

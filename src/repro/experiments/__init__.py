@@ -22,7 +22,14 @@ from .model_shapes import (
     paper_layer_shapes,
     paper_workload_spec,
 )
-from .reporting import ascii_curve, format_markdown_table, format_table
+from .reporting import (
+    BENCH_SCHEMA_VERSION,
+    ascii_curve,
+    bench_run_metadata,
+    format_markdown_table,
+    format_table,
+    write_bench_json,
+)
 from .workloads import WORKLOAD_BUILDERS, TrainableWorkload, build_workload, make_optimizer
 
 __all__ = [
@@ -49,4 +56,7 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "ascii_curve",
+    "BENCH_SCHEMA_VERSION",
+    "bench_run_metadata",
+    "write_bench_json",
 ]

@@ -1,10 +1,85 @@
-"""Plain-text and markdown table rendering for the benchmark harness."""
+"""Table rendering and the shared ``BENCH_*.json`` writer for the benchmark harness.
+
+Every benchmark emits its numbers through :func:`write_bench_json`, which
+wraps the benchmark-specific payload in a versioned envelope::
+
+    {
+      "schema_version": 1,
+      "name": "comm_fusion",
+      "run": { ... platform / toggle metadata, no git required ... },
+      "metrics": { ... optional repro.observability.MetricsReport dump ... },
+      "data": { ... the benchmark's own payload, unchanged ... }
+    }
+
+so downstream consumers can detect format changes (bump
+:data:`BENCH_SCHEMA_VERSION` whenever the envelope changes shape) and every
+file records the environment toggles it ran under without shelling out to
+``git``.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_markdown_table", "ascii_curve"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "ascii_curve",
+    "BENCH_SCHEMA_VERSION",
+    "bench_run_metadata",
+    "write_bench_json",
+]
+
+#: Version of the BENCH_*.json envelope written by :func:`write_bench_json`.
+BENCH_SCHEMA_VERSION = 1
+
+#: Environment toggles recorded in every benchmark file (reproducibility).
+_RECORDED_TOGGLES = ("REPRO_COMM_OVERLAP", "REPRO_HOOK_PIPELINE", "REPRO_ADAPTIVE", "REPRO_TRACE")
+
+
+def bench_run_metadata() -> Dict[str, Any]:
+    """Machine/toggle metadata stamped into benchmark files (no git required)."""
+    import numpy
+
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "argv0": Path(sys.argv[0]).name if sys.argv else "",
+        "env": {name: os.environ.get(name, "") for name in _RECORDED_TOGGLES},
+    }
+
+
+def write_bench_json(
+    path,
+    name: str,
+    data: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one benchmark's results in the versioned BENCH envelope.
+
+    ``data`` is the benchmark-specific payload (stored verbatim under
+    ``"data"``); ``metrics`` is an optional aggregated-metrics block —
+    typically ``MetricsReport.to_dict()`` from a traced run.
+    """
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": str(name),
+        "run": bench_run_metadata(),
+        "metrics": metrics or {},
+        "data": data,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=False))
+    return path
 
 
 def _stringify(value) -> str:

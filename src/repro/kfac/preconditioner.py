@@ -62,6 +62,7 @@ from ..distributed.backend import Communicator, SingleProcessCommunicator
 from ..distributed.collectives import AllreduceSpec, BroadcastSpec, GradientBucketSpec, OverlapScheduler
 from ..distributed.cost_model import EDR_INFINIBAND, choose_bucket_cap
 from ..nn.module import Module
+from ..observability import NULL_TRACER
 from ..tensor import PrecisionPolicy
 from .base import Preconditioner
 from .config import KFACConfig
@@ -107,6 +108,7 @@ class KFAC(Preconditioner):
         cg_tol: Optional[float] = None,
         cg_max_iter: Optional[int] = None,
         profiler=None,
+        tracer=None,
         strategy: Optional[DistributionStrategy] = None,
     ) -> None:
         if isinstance(precision, PrecisionPolicy):
@@ -179,6 +181,9 @@ class KFAC(Preconditioner):
         self.comm_overlap = config.comm_overlap
         self.bucket_cap_mb = config.bucket_cap_mb  # may be the string "auto"
         self.profiler = profiler
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.profiler is not None and self.tracer.enabled and getattr(self.profiler, "tracer", None) is None:
+            self.profiler.tracer = self.tracer
         self._base_config = config
 
         self.precision = policy
@@ -233,7 +238,25 @@ class KFAC(Preconditioner):
         # "auto" sizes the fused-buffer cap from the alpha-beta model and the
         # registered factor shapes, so it must resolve after registration.
         self.resolved_bucket_cap_mb = self._resolve_bucket_cap()
-        self.scheduler = OverlapScheduler(self.comm, self.resolved_bucket_cap_mb) if self.comm_overlap else None
+        self.scheduler = (
+            OverlapScheduler(self.comm, self.resolved_bucket_cap_mb, tracer=self.tracer)
+            if self.comm_overlap
+            else None
+        )
+
+    def set_tracer(self, tracer) -> None:
+        """Adopt ``tracer`` for stage spans, scheduling events and comm spans.
+
+        Called by the :class:`~repro.training.trainer.Trainer` when it shares
+        its tracer; propagates to the collective scheduler and (when the
+        legacy :class:`~repro.profiling.StageProfiler` shim has no tracer of
+        its own) to the profiler.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.scheduler is not None:
+            self.scheduler.tracer = self.tracer
+        if self.profiler is not None and getattr(self.profiler, "tracer", None) is None and self.tracer.enabled:
+            self.profiler.tracer = self.tracer
 
     def _solver_name_for(self, layer: KFACLayer) -> str:
         """Which registered solve strategy preconditions ``layer``.
@@ -274,13 +297,14 @@ class KFAC(Preconditioner):
         grad_scaler=None,
         skip_modules: Sequence[Module] = (),
         profiler=None,
+        tracer=None,
         strategy: Optional[DistributionStrategy] = None,
     ) -> "KFAC":
         """Build a preconditioner from a :class:`KFACConfig`.
 
         Per-run objects (communicator, grad scaler, skipped modules, profiler,
-        or a custom strategy instance) are passed separately because they are
-        not serializable hyperparameters.
+        tracer, or a custom strategy instance) are passed separately because
+        they are not serializable hyperparameters.
         """
         if not isinstance(config, KFACConfig):
             raise TypeError(f"expected KFACConfig, got {type(config).__name__}")
@@ -302,6 +326,7 @@ class KFAC(Preconditioner):
             comm=comm,
             skip_modules=skip_modules,
             profiler=profiler,
+            tracer=tracer,
             strategy=strategy,
         )
 
@@ -338,9 +363,13 @@ class KFAC(Preconditioner):
         return float(self.grad_scaler.get_scale())
 
     def _profile(self, stage: str):
-        if self.profiler is None:
-            return contextlib.nullcontext()
-        return self.profiler.region(stage)
+        # The profiler shim emits the kfac/<stage> span itself when a tracer
+        # is attached to it, so the two branches never double-record.
+        if self.profiler is not None:
+            return self.profiler.region(stage)
+        if self.tracer.enabled:
+            return self.tracer.span(f"kfac/{stage}", category="kfac")
+        return contextlib.nullcontext()
 
     # --------------------------------------------------------------- properties
     @property
@@ -391,29 +420,40 @@ class KFAC(Preconditioner):
         """
         if lr is not None:
             self.lr = float(lr)
-        if self.factor_scheduler is not None:
-            self._step_scheduled(loss)
-            return
-        update_factors = self._steps % self.factor_update_freq == 0
-        update_eigen = self._steps % self.inv_update_freq == 0
+        with self.tracer.span("kfac/step", category="kfac", step=self._steps):
+            if self.factor_scheduler is not None:
+                self._step_scheduled(loss)
+                return
+            update_factors = self._steps % self.factor_update_freq == 0
+            update_eigen = self._steps % self.inv_update_freq == 0
+            if self.tracer.enabled:
+                # Counter semantics mirror scheduler_stats(): "skips" are
+                # base-cadence opportunities not taken, so the fixed cadence
+                # never skips.
+                n_layers = len(self.layers)
+                self.tracer.counter_add("kfac/factor_updates", n_layers if update_factors else 0)
+                self.tracer.counter_add("kfac/factor_skips", 0)
+                self.tracer.counter_add("kfac/eigen_updates", n_layers if update_eigen else 0)
+                self.tracer.counter_add("kfac/eigen_skips", 0)
+                self.tracer.gauge_set("kfac/damping", self.damping)
 
-        if update_factors and self._pipeline_factor_step != self._steps:
-            with self._profile("factor_compute"):
-                self._update_local_factors()
-            with self._profile("factor_allreduce"):
-                self._allreduce_factors()
-        if update_eigen:
-            with self._profile("eigen_decomposition"):
-                self._compute_eigen_decompositions()
-            with self._profile("eigen_broadcast"):
-                self._broadcast_eigen_decompositions()
-        with self._profile("precondition"):
-            preconditioned = self._precondition_gradients()
-        with self._profile("grad_broadcast"):
-            preconditioned = self._broadcast_preconditioned_gradients(preconditioned)
-        with self._profile("scale_and_update"):
-            self._apply_preconditioned_gradients(preconditioned)
-        self._steps += 1
+            if update_factors and self._pipeline_factor_step != self._steps:
+                with self._profile("factor_compute"):
+                    self._update_local_factors()
+                with self._profile("factor_allreduce"):
+                    self._allreduce_factors()
+            if update_eigen:
+                with self._profile("eigen_decomposition"):
+                    self._compute_eigen_decompositions()
+                with self._profile("eigen_broadcast"):
+                    self._broadcast_eigen_decompositions()
+            with self._profile("precondition"):
+                preconditioned = self._precondition_gradients()
+            with self._profile("grad_broadcast"):
+                preconditioned = self._broadcast_preconditioned_gradients(preconditioned)
+            with self._profile("scale_and_update"):
+                self._apply_preconditioned_gradients(preconditioned)
+            self._steps += 1
 
     def _step_scheduled(self, loss: Optional[float]) -> None:
         """Scheduler-planned step: per-layer factor/second-order refreshes.
@@ -430,7 +470,17 @@ class KFAC(Preconditioner):
             # Average the loss across ranks so every rank applies the same
             # damping adjustment and the SPMD plan stays in lock step.
             mean_loss = self._mean_loss(loss)
+            previous_damping = self.damping
             self.damping = self.damping_controller.observe_loss(mean_loss)
+            if self.tracer.enabled and self.damping != previous_damping:
+                self.tracer.instant(
+                    "kfac/damping_adjusted",
+                    category="scheduling",
+                    step=step,
+                    old=previous_damping,
+                    new=self.damping,
+                )
+                self.tracer.counter_add("kfac/damping_adjustments")
 
         factor_layers = [name for name in self.layers if sched.factors_due(name, step)]
         if factor_layers and self._pipeline_factor_step != step:
@@ -446,6 +496,31 @@ class KFAC(Preconditioner):
 
         second_layers = [name for name in self.layers if sched.second_order_due(name, step)]
         eigen_layers = [name for name in second_layers if self.solvers[name].needs_eigen]
+        if self.tracer.enabled:
+            # "Skips" match FactorUpdateScheduler.advance(): base-cadence
+            # opportunities (step % freq == 0) the plan chose not to take.
+            n_layers = len(self.layers)
+            factor_skips = n_layers - len(factor_layers) if step % self.factor_update_freq == 0 else 0
+            eigen_skips = n_layers - len(second_layers) if step % self.inv_update_freq == 0 else 0
+            self.tracer.counter_add("kfac/factor_updates", len(factor_layers))
+            self.tracer.counter_add("kfac/factor_skips", factor_skips)
+            self.tracer.counter_add("kfac/eigen_updates", len(second_layers))
+            self.tracer.counter_add("kfac/eigen_skips", eigen_skips)
+            self.tracer.gauge_set("kfac/damping", self.damping)
+            solver_counts: Dict[str, int] = {}
+            for name in second_layers:
+                solver = self.solvers[name].name
+                solver_counts[solver] = solver_counts.get(solver, 0) + 1
+            self.tracer.instant(
+                "kfac/refresh_decision",
+                category="scheduling",
+                step=step,
+                factor_layers=len(factor_layers),
+                second_order_layers=len(second_layers),
+                eigen_solver_layers=len(eigen_layers),
+                solvers=solver_counts,
+                damping=self.damping,
+            )
         if second_layers:
             with self._profile("eigen_decomposition"):
                 self._compute_eigen_decompositions(eigen_layers)

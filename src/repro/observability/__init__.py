@@ -1,0 +1,49 @@
+"""Unified tracing and metrics for the training stack.
+
+The subsystem has four pieces:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — per-rank structured recording of
+  spans, instant events, counters and gauges (:mod:`.tracer`);
+* Chrome trace-event export and validation for Perfetto timelines
+  (:mod:`.export`);
+* :class:`MetricsReport` — p50/p95/max span statistics and counter totals
+  aggregated across ranks (:mod:`.metrics`);
+* :func:`measured_comm_schedule` — measured exposed-vs-hidden communication
+  from real comm/backward span overlap, the observed counterpart of
+  :func:`repro.kfac.model_comm_schedule` (:mod:`.overlap`).
+
+Enable tracing by passing a live :class:`Tracer` to
+:class:`~repro.training.trainer.Trainer` (which shares it with the gradient
+pipeline and the preconditioner), or set ``REPRO_TRACE=1`` to make every
+trainer construct one by default.  With tracing disabled the no-op
+:data:`NULL_TRACER` is threaded through instead and training trajectories
+are bitwise identical.
+"""
+
+from .export import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .metrics import MetricsReport, SpanStats
+from .overlap import (
+    MeasuredCommSchedule,
+    intersection_measure,
+    measured_comm_schedule,
+    merge_intervals,
+)
+from .tracer import NULL_TRACER, InstantRecord, NullTracer, SpanRecord, Tracer, default_tracing
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "InstantRecord",
+    "default_tracing",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "MetricsReport",
+    "SpanStats",
+    "MeasuredCommSchedule",
+    "measured_comm_schedule",
+    "merge_intervals",
+    "intersection_measure",
+]

@@ -1,0 +1,213 @@
+"""Chrome trace-event export for merged per-rank traces.
+
+:func:`to_chrome_trace` merges the recordings of one or more
+:class:`~repro.observability.tracer.Tracer` instances (one per rank) into the
+Trace Event Format consumed by Perfetto / ``chrome://tracing``:
+
+* each rank becomes one *process* (``pid = rank``) so the UI shows one track
+  group per rank;
+* the synchronous span stack lives on ``tid = 0`` ("main") as complete
+  (``"ph": "X"``) events — nesting is reconstructed by the viewer from
+  containment;
+* asynchronous spans (nonblocking collectives, which overlap the main stack
+  and each other) are laid out onto as few extra threads as needed
+  (``tid >= 1``) via greedy interval scheduling, so no two events on one
+  track overlap and every track renders correctly;
+* instants become ``"ph": "i"`` thread-scoped events, and final counter /
+  gauge values are emitted as one ``"ph": "C"`` sample at the end of the
+  rank's timeline.
+
+Timestamps are rebased to the earliest event across all ranks and expressed
+in microseconds (the format's unit), so the exported ``ts`` values are
+non-negative and the per-rank clocks stay aligned (all ranks of a
+:class:`~repro.distributed.threaded.ThreadedWorld` share one
+``perf_counter``).  :func:`validate_chrome_trace` checks the invariants the
+tests and the CI smoke job rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .tracer import SpanRecord, Tracer
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "validate_chrome_trace"]
+
+_MAIN_TID = 0
+
+
+def _as_tracers(tracers: Union[Tracer, Sequence[Tracer]]) -> List[Tracer]:
+    if isinstance(tracers, Tracer):
+        return [tracers]
+    return list(tracers)
+
+
+def _assign_lanes(spans: Sequence[SpanRecord]) -> Dict[int, int]:
+    """Greedy interval scheduling: span index -> lane (0-based, non-overlapping)."""
+    order = sorted(range(len(spans)), key=lambda i: (spans[i].start, spans[i].end))
+    lane_end: List[float] = []
+    assignment: Dict[int, int] = {}
+    for index in order:
+        span = spans[index]
+        for lane, end in enumerate(lane_end):
+            if end <= span.start:
+                lane_end[lane] = span.end
+                assignment[index] = lane
+                break
+        else:
+            assignment[index] = len(lane_end)
+            lane_end.append(span.end)
+    return assignment
+
+
+def _json_safe(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (int, float)):
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [str(v) if not isinstance(v, (str, int, float, bool)) else v for v in value]
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def to_chrome_trace(tracers: Union[Tracer, Sequence[Tracer]]) -> Dict[str, Any]:
+    """Merge per-rank tracers into a Chrome trace-event document (a dict)."""
+    tracer_list = _as_tracers(tracers)
+    starts = [s.start for t in tracer_list for s in t.spans]
+    starts += [i.ts for t in tracer_list for i in t.instants]
+    t0 = min(starts) if starts else 0.0
+
+    def us(seconds: float) -> float:
+        return round((seconds - t0) * 1e6, 3)
+
+    events: List[Dict[str, Any]] = []
+    for tracer in tracer_list:
+        rank = tracer.rank
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": rank, "tid": _MAIN_TID, "ts": 0,
+             "args": {"name": f"rank {rank}"}}
+        )
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": rank, "tid": _MAIN_TID, "ts": 0,
+             "args": {"name": "main"}}
+        )
+        sync_spans = [s for s in tracer.spans if s.lane is None]
+        async_spans = [s for s in tracer.spans if s.lane is not None]
+        for span in sync_spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category or "span",
+                    "ph": "X",
+                    "pid": rank,
+                    "tid": _MAIN_TID,
+                    "ts": us(span.start),
+                    "dur": round(span.duration * 1e6, 3),
+                    "args": _json_safe(span.attrs),
+                }
+            )
+        lanes = _assign_lanes(async_spans)
+        lane_names: Dict[int, str] = {}
+        for index, span in enumerate(async_spans):
+            tid = 1 + lanes[index]
+            lane_names.setdefault(tid, span.lane or "async")
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category or span.lane or "async",
+                    "ph": "X",
+                    "pid": rank,
+                    "tid": tid,
+                    "ts": us(span.start),
+                    "dur": round(span.duration * 1e6, 3),
+                    "args": _json_safe(span.attrs),
+                }
+            )
+        for tid, lane in sorted(lane_names.items()):
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": rank, "tid": tid, "ts": 0,
+                 "args": {"name": f"{lane} {tid - 1}"}}
+            )
+        for inst in tracer.instants:
+            events.append(
+                {
+                    "name": inst.name,
+                    "cat": inst.category or "instant",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": rank,
+                    "tid": _MAIN_TID,
+                    "ts": us(inst.ts),
+                    "args": _json_safe(inst.attrs),
+                }
+            )
+        counters = tracer.counters()
+        gauges = tracer.gauges()
+        if counters or gauges:
+            rank_events = [s.end for s in tracer.spans] + [i.ts for i in tracer.instants]
+            end_ts = us(max(rank_events)) if rank_events else 0
+            samples = dict(counters)
+            samples.update(gauges)
+            for name, value in sorted(samples.items()):
+                events.append(
+                    {"name": name, "cat": "counter", "ph": "C", "pid": rank, "tid": _MAIN_TID,
+                     "ts": end_ts, "args": {"value": value}}
+                )
+    # Sort by timestamp (metadata first at ts 0) so ts is globally monotonic.
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracers: Union[Tracer, Sequence[Tracer]]) -> Path:
+    """Serialize :func:`to_chrome_trace` output to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracers), indent=None, separators=(",", ":")))
+    return path
+
+
+def validate_chrome_trace(data: Union[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Check a Chrome trace document against the invariants we guarantee.
+
+    Accepts the dict from :func:`to_chrome_trace` or its JSON serialization;
+    raises ``ValueError`` on the first violation and returns the parsed dict
+    on success.  Checked: top-level shape, per-event required keys, known
+    phases, non-negative monotonically non-decreasing ``ts``, non-negative
+    durations, and integer ``pid``/``tid``.
+    """
+    if isinstance(data, (str, bytes)):
+        data = json.loads(data)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace document must be an object with a traceEvents array")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be an array")
+    last_ts = None
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                raise ValueError(f"event {index} is missing required key {key!r}")
+        if event["ph"] not in ("X", "i", "M", "C", "b", "e"):
+            raise ValueError(f"event {index} has unknown phase {event['ph']!r}")
+        if not isinstance(event["pid"], int) or not isinstance(event["tid"], int):
+            raise ValueError(f"event {index} pid/tid must be integers")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {index} has invalid ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"event {index} ts {ts} precedes previous ts {last_ts}")
+        last_ts = ts
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"complete event {index} has invalid dur {dur!r}")
+        if event["ph"] == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"instant event {index} has invalid scope {event.get('s')!r}")
+    return data

@@ -1,0 +1,211 @@
+"""End-to-end trace smoke: a tiny traced BERT run under the threaded world.
+
+Runs the full instrumented stack — hook-driven gradient pipeline, fused
+nonblocking collectives, K-FAC with per-stage spans — across ``--world``
+threaded ranks with tracing enabled, then exports and validates a Chrome
+trace (loadable in Perfetto / ``chrome://tracing``), prints the aggregated
+:class:`~repro.observability.MetricsReport`, and reports the *measured*
+exposed/hidden communication next to the analytic model's prediction for
+the same layer set.  Used three ways:
+
+* the CI trace-smoke job: ``python -m repro.observability.smoke --out
+  trace.json`` (exit code non-zero if the exported trace fails validation);
+* ``benchmarks/bench_comm_fusion.py`` imports :func:`run_traced_bert` /
+  :func:`modeled_schedule_for_run` to print modeled-vs-measured columns;
+* the observability tests, as the canonical "real workload, real ranks"
+  fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+from typing import List, Optional, Tuple
+
+__all__ = ["run_traced_bert", "modeled_schedule_for_run", "main"]
+
+
+def run_traced_bert(
+    world_size: int = 4,
+    steps: int = 3,
+    grad_worker_frac: float = 0.5,
+    seed: int = 0,
+    factor_update_freq: int = 2,
+    inv_update_freq: int = 4,
+    use_pipeline: bool = True,
+):
+    """Train a tiny BERT for ``steps`` iterations on ``world_size`` threaded ranks.
+
+    Every rank runs with a live :class:`~repro.observability.Tracer`, the
+    hook-driven gradient pipeline (unless ``use_pipeline=False``) and the
+    fused nonblocking collective engine, so the returned per-rank tracers
+    carry comm spans overlapping the backward spans.  Returns
+    ``(tracers, run_info)`` where ``run_info`` records the knobs needed to
+    rebuild the matching analytic schedule.
+    """
+    from ..distributed.threaded import run_spmd
+    from .tracer import Tracer
+
+    def program(comm):
+        import repro.optim as optim
+
+        from ..experiments.workloads import build_bert_workload
+        from ..kfac import KFAC
+        from ..training.pipeline import GradientPipeline
+        from ..training.trainer import Trainer
+
+        workload = build_bert_workload(seed=seed, num_train=16 * steps, num_val=16)
+        model = workload.model
+        optimizer = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        preconditioner = KFAC(
+            model,
+            lr=0.05,
+            factor_update_freq=factor_update_freq,
+            inv_update_freq=inv_update_freq,
+            grad_worker_frac=grad_worker_frac,
+            comm=comm,
+            comm_overlap=True,
+            skip_modules=workload.kfac_skip_modules,
+        )
+        tracer = Tracer(rank=comm.rank)
+        pipeline = (
+            GradientPipeline(model, comm=comm, bucket_cap_mb=preconditioner.resolved_bucket_cap_mb)
+            if use_pipeline
+            else None
+        )
+        trainer = Trainer(
+            model,
+            optimizer,
+            workload.forward_loss,
+            preconditioner=preconditioner,
+            comm=comm,
+            pipeline=pipeline,
+            tracer=tracer,
+        )
+        for batch in itertools.islice(iter(workload.train_loader), steps):
+            trainer.train_step(batch)
+        return trainer.tracer
+
+    tracers = run_spmd(world_size, program)
+    run_info = {
+        "world_size": world_size,
+        "steps": steps,
+        "grad_worker_frac": grad_worker_frac,
+        "seed": seed,
+        "factor_update_freq": factor_update_freq,
+        "inv_update_freq": inv_update_freq,
+        "use_pipeline": use_pipeline,
+    }
+    return tracers, run_info
+
+
+def modeled_schedule_for_run(tracers, run_info):
+    """The analytic :class:`~repro.kfac.CommSchedule` matching a traced run.
+
+    Rebuilds the same tiny BERT (same seed), collects its K-FAC layer shapes,
+    and prices the hooked schedule with :func:`repro.kfac.model_comm_schedule`
+    — calibrating the model's per-iteration compute time from the *measured*
+    forward+backward+optimizer spans so the two columns share a time base.
+    """
+    from ..experiments.model_shapes import collect_layer_shapes
+    from ..experiments.workloads import build_bert_workload
+    from ..kfac import model_comm_schedule
+    from ..kfac.analysis import KFACWorkloadSpec
+    from .metrics import MetricsReport
+
+    workload = build_bert_workload(seed=run_info["seed"], num_train=16, num_val=16)
+    report = MetricsReport.from_tracers(tracers)
+    compute_time = (
+        report.mean("trainer/forward")
+        + report.mean("trainer/backward")
+        + report.mean("trainer/optimizer_step")
+    )
+    spec = KFACWorkloadSpec(
+        name="bert_tiny_traced",
+        layers=collect_layer_shapes(workload.model, skip_modules=workload.kfac_skip_modules),
+        param_count=sum(int(p.data.size) for p in workload.model.parameters()),
+        local_batch_size=16,
+        baseline_compute_time=max(compute_time, 1e-6),
+        factor_update_freq=run_info["factor_update_freq"],
+        inv_update_freq=run_info["inv_update_freq"],
+    )
+    return model_comm_schedule(
+        spec,
+        run_info["world_size"],
+        run_info["grad_worker_frac"],
+        hooked=run_info["use_pipeline"],
+        fused=True,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from ..experiments.reporting import format_table
+    from .export import validate_chrome_trace, write_chrome_trace
+    from .metrics import MetricsReport
+    from .overlap import measured_comm_schedule
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    parser.add_argument("--world", type=int, default=4, help="threaded world size")
+    parser.add_argument("--steps", type=int, default=3, help="optimization steps")
+    parser.add_argument("--frac", type=float, default=0.5, help="grad_worker_frac")
+    parser.add_argument("--no-pipeline", action="store_true", help="disable the hook pipeline")
+    args = parser.parse_args(argv)
+
+    tracers, run_info = run_traced_bert(
+        world_size=args.world,
+        steps=args.steps,
+        grad_worker_frac=args.frac,
+        use_pipeline=not args.no_pipeline,
+    )
+    path = write_chrome_trace(args.out, tracers)
+    validate_chrome_trace(path.read_text())
+    print(f"wrote {path} ({len(tracers)} ranks)")
+
+    report = MetricsReport.from_tracers(tracers)
+    print(
+        format_table(
+            ["span", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
+            report.format_rows(),
+            title="\nAggregated span statistics (all ranks)",
+        )
+    )
+    if report.counters:
+        print("\nCounters:")
+        for name, value in report.counters.items():
+            print(f"  {name}: {value:g}")
+
+    measured = measured_comm_schedule(tracers)
+    modeled = modeled_schedule_for_run(tracers, run_info)
+    print(
+        format_table(
+            ["", "comm time (ms)", "exposed (ms)", "hidden (ms)"],
+            [
+                [
+                    "modeled",
+                    round(modeled.kfac_comm_time * 1e3, 3),
+                    round(modeled.exposed_comm_time * 1e3, 3),
+                    round(modeled.hidden_comm_time * 1e3, 3),
+                ],
+                [
+                    "measured",
+                    round(measured.comm_time * 1e3, 3),
+                    round(measured.exposed_comm_time * 1e3, 3),
+                    round(measured.hidden_comm_time * 1e3, 3),
+                ],
+            ],
+            title="\nExposed communication: modeled vs measured (busiest rank)",
+        )
+    )
+    if measured.exposed_comm_time > measured.comm_time + 1e-9:
+        print("ERROR: measured exposed comm exceeds total comm occupancy", file=sys.stderr)
+        return 1
+    if measured.messages == 0:
+        print("ERROR: trace contains no communication spans", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,54 +1,90 @@
-"""Wall-clock stage profiling for KFAC.step() (Figure 7)."""
+"""Wall-clock stage profiling for KFAC.step() (Figure 7).
+
+:class:`StageProfiler` predates the structured tracing subsystem
+(:mod:`repro.observability`) and is kept as a compatibility shim: the K-FAC
+stage timings it reports now also flow into a :class:`~repro.observability.Tracer`
+as ``kfac/<stage>`` spans when one is attached (pass ``tracer=`` here, or —
+the usual path — give the tracer to :class:`~repro.kfac.KFAC` /
+:class:`~repro.training.trainer.Trainer` directly and skip the profiler).
+For percentile statistics and cross-rank aggregation use
+:meth:`repro.observability.MetricsReport.stage_summary`, which emits the
+same ``{stage: mean}`` mapping as :meth:`StageProfiler.summary`.
+
+Recording is lock-protected: under the threaded backend several rank
+threads may share one profiler instance, and ``defaultdict`` mutation from
+concurrent ``region()`` exits would otherwise race (lost updates in the
+per-stage lists).
+"""
 
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from collections import defaultdict
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["StageProfiler"]
 
 
 class StageProfiler:
-    """Collects wall-clock durations per named region.
+    """Collects wall-clock durations per named region (thread-safe).
 
     Passed to :class:`repro.kfac.KFAC` as ``profiler=...``; each stage of
     ``KFAC.step()`` is wrapped in :meth:`region`, producing the per-stage
-    execution times reported in the paper's Figure 7.
+    execution times reported in the paper's Figure 7.  When a
+    :class:`~repro.observability.Tracer` is attached, every region is also
+    recorded as a ``kfac/<name>`` span on that tracer.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._durations: Dict[str, List[float]] = defaultdict(list)
+        self._lock = threading.Lock()
+        self.tracer = tracer
 
     @contextlib.contextmanager
     def region(self, name: str) -> Iterator[None]:
+        span = self.tracer.span(f"kfac/{name}", category="kfac") if self.tracer is not None else None
         start = time.perf_counter()
         try:
-            yield
+            if span is not None:
+                with span:
+                    yield
+            else:
+                yield
         finally:
-            self._durations[name].append(time.perf_counter() - start)
+            self.record(name, time.perf_counter() - start)
 
     def record(self, name: str, duration: float) -> None:
         """Record an externally measured duration."""
-        self._durations[name].append(float(duration))
+        with self._lock:
+            self._durations[name].append(float(duration))
 
     def count(self, name: str) -> int:
-        return len(self._durations.get(name, ()))
+        with self._lock:
+            return len(self._durations.get(name, ()))
 
     def total(self, name: str) -> float:
-        return float(sum(self._durations.get(name, ())))
+        with self._lock:
+            return float(sum(self._durations.get(name, ())))
 
     def mean(self, name: str) -> float:
-        values = self._durations.get(name, ())
-        return float(sum(values) / len(values)) if values else 0.0
+        with self._lock:
+            values = self._durations.get(name, ())
+            return float(sum(values) / len(values)) if values else 0.0
 
     def stages(self) -> List[str]:
-        return list(self._durations.keys())
+        with self._lock:
+            return list(self._durations.keys())
 
     def summary(self, per_call: bool = True) -> Dict[str, float]:
         """Mean (or total) duration per stage."""
-        return {name: (self.mean(name) if per_call else self.total(name)) for name in self._durations}
+        with self._lock:
+            return {
+                name: float(sum(values) / len(values)) if per_call and values else float(sum(values))
+                for name, values in self._durations.items()
+            }
 
     def reset(self) -> None:
-        self._durations.clear()
+        with self._lock:
+            self._durations.clear()

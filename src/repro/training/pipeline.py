@@ -55,6 +55,7 @@ import numpy as np
 
 from ..distributed.backend import Communicator, SingleProcessCommunicator
 from ..distributed.collectives import AllreduceSpec, GradientBucketSpec, OverlapScheduler, TensorBucket
+from ..observability import NULL_TRACER
 from ..tensor import Tensor, is_grad_enabled
 
 __all__ = ["GradientPipeline", "default_hook_pipeline"]
@@ -115,10 +116,13 @@ class GradientPipeline:
         manager (the DDP ``bucket_cap_mb`` analogue).
     """
 
-    def __init__(self, model, comm: Optional[Communicator] = None, bucket_cap_mb: float = 25.0) -> None:
+    def __init__(
+        self, model, comm: Optional[Communicator] = None, bucket_cap_mb: float = 25.0, tracer=None
+    ) -> None:
         self.model = model
         self.comm = comm if comm is not None else SingleProcessCommunicator()
-        self.scheduler = OverlapScheduler(self.comm, bucket_cap_mb)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = OverlapScheduler(self.comm, bucket_cap_mb, tracer=self.tracer)
         self.subscribers: List[object] = []
         self.grad_scale: float = 1.0
         self._armed = False
@@ -129,6 +133,11 @@ class GradientPipeline:
         #: Buckets posted from backward events vs. at flush() — the former is
         #: the communication that genuinely overlapped the backward pass.
         self.stats = {"buckets_posted_in_backward": 0, "buckets_posted_at_flush": 0}
+
+    def set_tracer(self, tracer) -> None:
+        """Adopt ``tracer`` for the pipeline and its scheduler (trainer wiring)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler.tracer = self.tracer
 
     @property
     def bucket_cap_mb(self) -> float:
@@ -239,10 +248,21 @@ class GradientPipeline:
         for planned_bucket, planned_spec in self._gates.get(gate_id, ()):
             planned_spec.pending.discard(gate_id)
             if not planned_bucket.posted and planned_bucket.fully_ready:
-                self._post(planned_bucket, [spec.spec for spec in planned_bucket.specs])
+                self._post(planned_bucket, [spec.spec for spec in planned_bucket.specs], phase="backward")
                 self.stats["buckets_posted_in_backward"] += 1
 
-    def _post(self, planned_bucket: _PlannedBucket, specs: Sequence[GradientBucketSpec]) -> None:
+    def _post(
+        self, planned_bucket: _PlannedBucket, specs: Sequence[GradientBucketSpec], phase: str = "flush"
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pipeline/bucket_posted",
+                category="pipeline",
+                phase=phase,
+                nbytes=planned_bucket.bucket.nbytes,
+                fused_count=len(planned_bucket.bucket),
+            )
+            self.tracer.counter_add(f"pipeline/buckets_posted_{phase}")
         self.scheduler.post_allreduces(
             [
                 AllreduceSpec(key=spec.key, payload=spec.payload(), on_complete=spec.on_complete)
@@ -266,18 +286,19 @@ class GradientPipeline:
         """
         if not self._armed:
             raise RuntimeError("GradientPipeline.flush() called without a matching arm()")
-        for planned_bucket in self._plan:
-            if planned_bucket.posted:
-                continue
-            ready = [
-                spec.spec
-                for spec in planned_bucket.specs
-                if spec.ready or (spec.spec.flush_ready is not None and spec.spec.flush_ready())
-            ]
-            if ready:
-                self._post(planned_bucket, ready)
-                self.stats["buckets_posted_at_flush"] += 1
-        self.scheduler.drain()
+        with self.tracer.span("pipeline/flush", category="pipeline"):
+            for planned_bucket in self._plan:
+                if planned_bucket.posted:
+                    continue
+                ready = [
+                    spec.spec
+                    for spec in planned_bucket.specs
+                    if spec.ready or (spec.spec.flush_ready is not None and spec.spec.flush_ready())
+                ]
+                if ready:
+                    self._post(planned_bucket, ready, phase="flush")
+                    self.stats["buckets_posted_at_flush"] += 1
+            self.scheduler.drain()
         self._disarm()
         for subscriber in self.subscribers:
             on_flush = getattr(subscriber, "on_pipeline_flush", None)

@@ -30,6 +30,7 @@ from ..distributed.backend import Communicator
 from ..distributed.ddp import GradientAveragingSubscriber, allreduce_gradients
 from ..kfac.base import Preconditioner
 from ..nn.module import Module
+from ..observability import NULL_TRACER, Tracer, default_tracing
 from ..optim.grad_scaler import GradScaler
 from ..optim.lr_scheduler import LRScheduler
 from ..optim.optimizer import Optimizer
@@ -68,6 +69,15 @@ class Trainer:
         receives with no subscribers) is wired with gradient averaging over
         ``comm`` plus the preconditioner's factor subscription when the
         preconditioner supports it.
+    tracer:
+        Optional :class:`repro.observability.Tracer`.  ``None`` (default)
+        constructs a per-rank tracer when ``REPRO_TRACE=1`` is set and the
+        no-op :data:`~repro.observability.NULL_TRACER` otherwise.  The
+        trainer records step / micro-batch / forward / backward / optimizer
+        spans and shares the tracer with its pipeline and preconditioner
+        (when theirs is still the no-op), so one trace covers the whole
+        stack.  Tracing never changes numerics: with it disabled the
+        trajectory is bitwise identical.
     """
 
     def __init__(
@@ -83,6 +93,7 @@ class Trainer:
         iteration_time: Optional[float] = None,
         bucket_cap_mb: Optional[float] = None,
         pipeline: Union[GradientPipeline, str, None] = "auto",
+        tracer=None,
     ) -> None:
         if grad_accumulation_steps < 1:
             raise ValueError("grad_accumulation_steps must be >= 1")
@@ -103,6 +114,17 @@ class Trainer:
         # None = single flattened allreduce; a cap routes gradient averaging
         # through the bucketed nonblocking engine (numerically identical).
         self.bucket_cap_mb = bucket_cap_mb
+        if tracer is None:
+            if default_tracing():
+                rank = comm.rank if comm is not None else getattr(getattr(preconditioner, "comm", None), "rank", 0)
+                tracer = Tracer(rank=rank)
+            else:
+                tracer = NULL_TRACER
+        self.tracer = tracer
+        if self.tracer.enabled and self.preconditioner is not None:
+            set_tracer = getattr(self.preconditioner, "set_tracer", None)
+            if set_tracer is not None and not getattr(self.preconditioner, "tracer", NULL_TRACER).enabled:
+                set_tracer(self.tracer)
         if pipeline == "auto":
             pipeline = self._build_default_pipeline() if default_hook_pipeline() else None
         elif pipeline is not None and not isinstance(pipeline, GradientPipeline):
@@ -123,6 +145,8 @@ class Trainer:
                 )
             if not pipeline.subscribers:
                 self._wire_pipeline(pipeline)
+            if self.tracer.enabled and not pipeline.tracer.enabled:
+                pipeline.set_tracer(self.tracer)
         self.pipeline = pipeline
         self.iterations = 0
         self.simulated_time = 0.0
@@ -153,7 +177,7 @@ class Trainer:
                     "comm= to the Trainer (or pipeline=None to keep the explicit path)"
                 )
             comm = pre_comm
-        pipeline = GradientPipeline(self.model, comm=comm, bucket_cap_mb=cap)
+        pipeline = GradientPipeline(self.model, comm=comm, bucket_cap_mb=cap, tracer=self.tracer)
         self._wire_pipeline(pipeline)
         return pipeline
 
@@ -166,6 +190,10 @@ class Trainer:
     # ------------------------------------------------------------------ step
     def train_step(self, batches) -> float:
         """One optimization step over one batch (or a list of micro-batches)."""
+        with self.tracer.span("trainer/step", category="step", iteration=self.iterations):
+            return self._train_step(batches)
+
+    def _train_step(self, batches) -> float:
         # A plain batch is passed as-is; gradient accumulation passes an explicit
         # *list* of micro-batches (tuples/dicts are single batches).
         micro_batches: Sequence = batches if isinstance(batches, list) else [batches]
@@ -174,17 +202,23 @@ class Trainer:
         total_loss = 0.0
         final_index = len(micro_batches) - 1
         for index, micro in enumerate(micro_batches):
-            if self.pipeline is not None and index == final_index:
-                # Arm for the final micro-batch only: hooks fire every
-                # backward, but buckets post exactly once per step, carrying
-                # the accumulated gradients with the 1/n micro-batch scale.
-                self.pipeline.arm(grad_scale=1.0 / len(micro_batches))
-            loss = self.forward_loss(self.model, micro)
-            total_loss += float(loss.item())
-            if self.grad_scaler is not None:
-                self.grad_scaler.scale(loss).backward()
-            else:
-                loss.backward()
+            with self.tracer.span("trainer/micro_batch", category="step", index=index):
+                if self.pipeline is not None and index == final_index:
+                    # Arm for the final micro-batch only: hooks fire every
+                    # backward, but buckets post exactly once per step, carrying
+                    # the accumulated gradients with the 1/n micro-batch scale.
+                    self.pipeline.arm(grad_scale=1.0 / len(micro_batches))
+                with self.tracer.span("trainer/forward", category="forward"):
+                    loss = self.forward_loss(self.model, micro)
+                total_loss += float(loss.item())
+                # Category "backward" marks the window communication can hide
+                # behind; measured-overlap reporting intersects comm spans
+                # with exactly these intervals.
+                with self.tracer.span("trainer/backward", category="backward", final=index == final_index):
+                    if self.grad_scaler is not None:
+                        self.grad_scaler.scale(loss).backward()
+                    else:
+                        loss.backward()
         if self.pipeline is not None:
             # Hook-driven path: buckets were posted during backward; one
             # flush synchronizes gradients (and K-FAC factors) before the
@@ -198,23 +232,26 @@ class Trainer:
                     if param.grad is not None:
                         param.grad = param.grad * scale
             if self.comm is not None:
-                allreduce_gradients(self.model, self.comm, bucket_cap_mb=self.bucket_cap_mb)
+                with self.tracer.span("trainer/allreduce_gradients", category="comm_sync"):
+                    allreduce_gradients(self.model, self.comm, bucket_cap_mb=self.bucket_cap_mb)
         if self.grad_scaler is not None:
             self.grad_scaler.unscale_(self.optimizer)
         if self.preconditioner is not None:
             lr = self.optimizer.param_groups[0]["lr"]
-            if getattr(self.preconditioner, "accepts_loss_feedback", False):
-                # Adaptive-damping preconditioners consume this step's loss
-                # (Levenberg-Marquardt actual-vs-predicted reduction).  Custom
-                # preconditioners without the property keep the plain call.
-                self.preconditioner.step(lr=lr, loss=total_loss / len(micro_batches))
+            with self.tracer.span("trainer/precondition", category="precondition"):
+                if getattr(self.preconditioner, "accepts_loss_feedback", False):
+                    # Adaptive-damping preconditioners consume this step's loss
+                    # (Levenberg-Marquardt actual-vs-predicted reduction).  Custom
+                    # preconditioners without the property keep the plain call.
+                    self.preconditioner.step(lr=lr, loss=total_loss / len(micro_batches))
+                else:
+                    self.preconditioner.step(lr=lr)
+        with self.tracer.span("trainer/optimizer_step", category="optimizer"):
+            if self.grad_scaler is not None:
+                self.grad_scaler.step(self.optimizer)
+                self.grad_scaler.update()
             else:
-                self.preconditioner.step(lr=lr)
-        if self.grad_scaler is not None:
-            self.grad_scaler.step(self.optimizer)
-            self.grad_scaler.update()
-        else:
-            self.optimizer.step()
+                self.optimizer.step()
         if self.lr_scheduler is not None:
             self.lr_scheduler.step()
         self.iterations += 1
