@@ -14,10 +14,13 @@ The package is organised as the paper's system is:
 * :mod:`repro.memory` - per-rank memory accounting,
 * :mod:`repro.data`, :mod:`repro.training`, :mod:`repro.profiling`,
   :mod:`repro.experiments` - synthetic workloads, training loops, profiling
-  and the experiment harness used by ``benchmarks/``.
+  and the experiment harness used by ``benchmarks/``,
+* :mod:`repro.analysis` - SPMD correctness tooling: the collective-order
+  lint (``python -m repro.analysis.lint``) and the ``REPRO_SANITIZE=1``
+  runtime sanitizer/race detector for the async comm stack.
 """
 
-from . import data, distributed, experiments, kfac, memory, models, nn, optim, profiling, tensor, training
+from . import analysis, data, distributed, experiments, kfac, memory, models, nn, optim, profiling, tensor, training
 from .kfac import KFAC, KFACConfig, Preconditioner
 from .tensor import Tensor, no_grad
 
@@ -40,5 +43,6 @@ __all__ = [
     "training",
     "profiling",
     "experiments",
+    "analysis",
     "__version__",
 ]

@@ -1,0 +1,47 @@
+"""SPMD correctness tooling: static collective-order lint + runtime sanitizer.
+
+Two complementary halves (see the README's "Correctness tooling" section):
+
+* **Static lint** — ``python -m repro.analysis.lint src/repro`` runs AST
+  rules (SPMD101–SPMD107) against the hazard classes of the async comm
+  stack: rank-dependent collectives, lost ``WorkHandle``\\ s, unordered
+  set iteration in comm planning, unlocked shared-state mutation,
+  unordered float accumulation, collectives in ``except`` handlers and
+  under nondeterministic guards.
+* **Runtime sanitizer** — ``REPRO_SANITIZE=1`` attaches a
+  :class:`CollectiveSanitizer` to every ``ThreadedWorld``: per-rank
+  collective sequences are cross-checked as they post, barriers verify
+  per-group schedule counts, and in-flight bucket buffers are frozen and
+  fingerprinted so use/mutate-before-``finish()`` races surface with the
+  offending call-site instead of corrupting training or deadlocking.
+"""
+
+from .linter import LintError, LintResult, lint_paths, lint_sources
+from .report import render_human, render_json, result_payload
+from .rules import DEFAULT_RULES, Finding, Rule, all_rule_ids
+from .sanitizer import (
+    BufferAccessChecker,
+    CollectiveSanitizer,
+    SanitizerError,
+    capture_call_site,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "LintError",
+    "LintResult",
+    "lint_paths",
+    "lint_sources",
+    "render_human",
+    "render_json",
+    "result_payload",
+    "DEFAULT_RULES",
+    "Finding",
+    "Rule",
+    "all_rule_ids",
+    "BufferAccessChecker",
+    "CollectiveSanitizer",
+    "SanitizerError",
+    "capture_call_site",
+    "sanitize_enabled",
+]

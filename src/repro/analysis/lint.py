@@ -1,0 +1,75 @@
+"""CLI for the SPMD lint pass: ``python -m repro.analysis.lint src/repro``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — lint errors (unreadable/unparsable
+input).  ``--format json`` emits the machine-readable report for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .linter import lint_paths
+from .report import render_human, render_json
+from .rules import DEFAULT_RULES, all_rule_ids
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="SPMD correctness lint for the repro async comm stack.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule IDs to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES():
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.rule_id}  {rule.rule_name:<28} {doc}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    rules = DEFAULT_RULES()
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
+        unknown = wanted - set(all_rule_ids())
+        if unknown:
+            print(f"unknown rule ID(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    result = lint_paths(args.paths, rules=rules)
+    print(render_json(result) if args.format == "json" else render_human(result))
+    if result.errors:
+        return 2
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Lint driver: file discovery, suppression handling, two-phase rule execution.
+
+Suppression syntax (checked against the physical lines a finding's node
+spans):
+
+* ``# spmd-ignore`` — suppress every rule on this line;
+* ``# spmd-ignore: SPMD103`` / ``# spmd-ignore: SPMD101, SPMD103`` — suppress
+  only the listed rule IDs;
+* ``# spmd-ignore-file`` / ``# spmd-ignore-file: SPMD104`` — file-level, on
+  any of the first ten lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .rules import DEFAULT_RULES, Finding, Rule
+
+__all__ = ["LintError", "LintResult", "lint_paths", "lint_sources"]
+
+_IGNORE_LINE = re.compile(r"#\s*spmd-ignore(?!-file)(?::\s*(?P<ids>[A-Z0-9,\s]+))?")
+_IGNORE_FILE = re.compile(r"#\s*spmd-ignore-file(?::\s*(?P<ids>[A-Z0-9,\s]+))?")
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file that could not be linted (I/O or syntax error)."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    errors: List[LintError]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def _ids_from_match(match: "re.Match[str]") -> Optional[Set[str]]:
+    raw = match.group("ids")
+    if raw is None:
+        return None  # bare ignore: all rules
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+class _Suppressions:
+    """Parsed ``# spmd-ignore`` comments for one source file."""
+
+    def __init__(self, source: str) -> None:
+        # lineno -> None (all rules) | set of rule IDs
+        self._by_line: Dict[int, Optional[Set[str]]] = {}
+        self._file_all = False
+        self._file_ids: Set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if lineno <= 10:
+                file_match = _IGNORE_FILE.search(line)
+                if file_match:
+                    ids = _ids_from_match(file_match)
+                    if ids is None:
+                        self._file_all = True
+                    else:
+                        self._file_ids |= ids
+            line_match = _IGNORE_LINE.search(line)
+            if line_match:
+                ids = _ids_from_match(line_match)
+                existing = self._by_line.get(lineno, set())
+                if ids is None or existing is None:
+                    self._by_line[lineno] = None
+                else:
+                    self._by_line[lineno] = existing | ids
+
+    def suppresses(self, finding: Finding, span: Tuple[int, int]) -> bool:
+        if self._file_all or finding.rule_id in self._file_ids:
+            return True
+        for lineno in range(span[0], span[1] + 1):
+            ids = self._by_line.get(lineno, False)
+            if ids is False:
+                continue
+            if ids is None or finding.rule_id in ids:
+                return True
+        return False
+
+
+def discover_files(paths: Sequence[str]) -> Tuple[List[str], List[LintError]]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    errors: List[LintError] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d not in ("__pycache__", ".git")]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(root, filename))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            errors.append(LintError(path=path, message="no such file or directory"))
+    return sorted(dict.fromkeys(files)), errors
+
+
+def lint_sources(
+    sources: Dict[str, str], rules: Optional[Sequence[Rule]] = None
+) -> LintResult:
+    """Lint in-memory ``{path: source}`` pairs (the unit-test entry point)."""
+    active_rules = list(rules) if rules is not None else DEFAULT_RULES()
+    findings: List[Finding] = []
+    errors: List[LintError] = []
+    suppressed = 0
+
+    parsed: List[Tuple[str, ast.Module, _Suppressions]] = []
+    for path in sorted(sources):
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except SyntaxError as error:
+            errors.append(LintError(path=path, message=f"syntax error: {error.msg} (line {error.lineno})"))
+            continue
+        parsed.append((path, tree, _Suppressions(sources[path])))
+
+    for rule in active_rules:
+        for path, tree, _ in parsed:
+            rule.collect(path, tree)
+    for rule in active_rules:
+        for path, tree, suppressions in parsed:
+            for finding in rule.check(path, tree):
+                if suppressions.suppresses(finding, (finding.line, finding.line)):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return LintResult(
+        findings=findings, errors=errors, files_checked=len(parsed), suppressed=suppressed
+    )
+
+
+def lint_paths(paths: Sequence[str], rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint files and directories from disk."""
+    files, errors = discover_files(paths)
+    sources: Dict[str, str] = {}
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources[path] = handle.read()
+        except OSError as error:
+            errors.append(LintError(path=path, message=str(error)))
+    result = lint_sources(sources, rules=rules)
+    result.errors = errors + result.errors
+    return result

@@ -1,0 +1,51 @@
+"""Reporters for lint results: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .linter import LintResult
+
+__all__ = ["render_human", "render_json", "result_payload"]
+
+
+def render_human(result: LintResult) -> str:
+    lines = []
+    for error in result.errors:
+        lines.append(f"{error.path}: error: {error.message}")
+    for finding in result.findings:
+        lines.append(finding.format())
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = (
+        f"{len(result.findings)} finding(s), {len(result.errors)} error(s) "
+        f"in {result.files_checked} {noun}"
+    )
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def result_payload(result: LintResult) -> Dict[str, Any]:
+    return {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "errors": [{"path": e.path, "message": e.message} for e in result.errors],
+        "findings": [
+            {
+                "rule_id": f.rule_id,
+                "rule_name": f.rule_name,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_payload(result), indent=2, sort_keys=True)

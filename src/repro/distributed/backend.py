@@ -37,8 +37,13 @@ __all__ = [
     "Communicator",
     "SingleProcessCommunicator",
     "WorkHandle",
+    "WorkHandleError",
     "CompletedWork",
 ]
+
+
+class WorkHandleError(RuntimeError):
+    """Misuse of a :class:`WorkHandle` (e.g. result read before ``finish()``)."""
 
 
 class WorkHandle:
@@ -46,7 +51,10 @@ class WorkHandle:
 
     ``wait()`` blocks until the collective completes and returns the result
     array; ``is_done()`` polls without blocking.  ``wait()`` may be called
-    multiple times (subsequent calls return the cached result).
+    multiple times (subsequent calls return the cached result), and
+    ``finish()`` is the explicit idempotent alias for it.  Reading
+    :attr:`result` before the handle is finished raises
+    :class:`WorkHandleError` — the collective still owns the buffer.
     """
 
     def wait(self) -> np.ndarray:  # pragma: no cover - abstract
@@ -54,6 +62,22 @@ class WorkHandle:
 
     def is_done(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def finish(self) -> np.ndarray:
+        """Complete the collective; idempotent (repeat calls return the cache)."""
+        return self.wait()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the result is locally available (never blocks)."""
+        return self.is_done()
+
+    @property
+    def result(self) -> np.ndarray:
+        raise WorkHandleError(
+            "WorkHandle.result accessed before finish()/wait(); the collective "
+            "may still be in flight"
+        )
 
 
 class CompletedWork(WorkHandle):
@@ -67,6 +91,10 @@ class CompletedWork(WorkHandle):
 
     def is_done(self) -> bool:
         return True
+
+    @property
+    def result(self) -> np.ndarray:
+        return self._result
 
 
 @dataclass
@@ -161,6 +189,10 @@ class CommunicationLog:
 
 class Communicator:
     """Rank-local interface for collective communication."""
+
+    #: The attached runtime sanitizer, if any (see :mod:`repro.analysis`).
+    #: Backends that support sanitization override this with a property.
+    sanitizer = None
 
     @property
     def rank(self) -> int:  # pragma: no cover - abstract

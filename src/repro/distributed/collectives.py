@@ -245,7 +245,19 @@ class OverlapScheduler:
         # Per-rank tracer: every posted bucket records a post->finish span
         # (category "comm"), the raw material for measured-overlap reporting.
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, object], Tuple[str, int, float]]] = []
+        # Runtime sanitizer (REPRO_SANITIZE=1): posted bucket buffers are
+        # frozen + fingerprinted until their handle is awaited, so a mutation
+        # or read of an in-flight buffer raises instead of corrupting comm.
+        self.sanitizer = getattr(comm, "sanitizer", None)
+        self._in_flight: List[Tuple[WorkHandle, TensorBucket, Dict[str, object], Tuple[str, int, float], Optional[int]]] = []
+
+    def _stamp(self, op: str, bucket: TensorBucket, flat: Optional[np.ndarray]) -> Optional[int]:
+        """Register a posted flat buffer with the buffer-access checker."""
+        if self.sanitizer is None or flat is None:
+            return None
+        self.sanitizer.attach_tracer(self.comm.rank, self.tracer)
+        key = f"rank{self.comm.rank}/{op}:{bucket.entries[0].key}+{len(bucket) - 1}"
+        return self.sanitizer.buffers.stamp(key, flat, tracer=self.tracer)
 
     # ------------------------------------------------------------- internals
     def _group_members(self, group: Optional[Tuple[int, ...]]) -> Tuple[int, ...]:
@@ -299,8 +311,9 @@ class OverlapScheduler:
                     flat, src=src, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
+                token = self._stamp("broadcast", bucket, flat)
                 posted = ("broadcast", len(members), self.tracer.now() if self.tracer.enabled else 0.0)
-                self._in_flight.append((handle, bucket, spec_by_key, posted))
+                self._in_flight.append((handle, bucket, spec_by_key, posted, token))
 
     def run_broadcasts(self, specs: Sequence[BroadcastSpec]) -> None:
         """Fuse and execute a broadcast schedule (post + drain)."""
@@ -338,8 +351,9 @@ class OverlapScheduler:
                     flat, group=None if len(members) == self.comm.world_size else members,
                     fused_count=len(bucket),
                 )
+                token = self._stamp("allreduce", bucket, flat)
                 posted = ("allreduce", len(members), self.tracer.now() if self.tracer.enabled else 0.0)
-                self._in_flight.append((handle, bucket, spec_by_key, posted))
+                self._in_flight.append((handle, bucket, spec_by_key, posted, token))
 
     def run_allreduces(self, specs: Sequence[AllreduceSpec]) -> None:
         """Fuse and execute an allreduce-average schedule (post + drain)."""
@@ -350,8 +364,10 @@ class OverlapScheduler:
     def drain(self) -> None:
         """Await every posted bucket in posting order and dispatch callbacks."""
         in_flight, self._in_flight = self._in_flight, []
-        for handle, bucket, spec_by_key, posted in in_flight:
+        for handle, bucket, spec_by_key, posted, token in in_flight:
             result = bucket.unpack(handle.wait())
+            if token is not None:
+                self.sanitizer.buffers.release(token)
             self._record_comm_span(bucket, posted)
             for entry in bucket.entries:
                 spec = spec_by_key[entry.key]
@@ -367,8 +383,10 @@ class OverlapScheduler:
         no stale result is installed.
         """
         in_flight, self._in_flight = self._in_flight, []
-        for handle, bucket, _spec_by_key, posted in in_flight:
+        for handle, bucket, _spec_by_key, posted, token in in_flight:
             handle.wait()
+            if token is not None:
+                self.sanitizer.buffers.release(token)
             self._record_comm_span(bucket, posted, discarded=True)
 
     def _record_comm_span(self, bucket: TensorBucket, posted: Tuple[str, int, float], discarded: bool = False) -> None:

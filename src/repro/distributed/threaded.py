@@ -13,11 +13,13 @@ simulated cluster time can be accounted with a :class:`PerformanceModel`.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .backend import CommunicationLog, Communicator, CompletedWork, WorkHandle
+from ..analysis.sanitizer import CollectiveSanitizer, SanitizerError, capture_call_site, sanitize_enabled
+from .backend import CommunicationLog, Communicator, CompletedWork, WorkHandle, WorkHandleError
 from .cost_model import PerformanceModel
 
 __all__ = ["ThreadedWorld", "ThreadedCommunicator", "ThreadedWork", "run_spmd"]
@@ -50,6 +52,7 @@ class ThreadedWork(WorkHandle):
         self._slot = slot
         self._result: Optional[np.ndarray] = None
         self._finished = False
+        self._site = capture_call_site() if world.sanitizer is not None else None
 
     def is_done(self) -> bool:
         return self._finished or self._slot.ready.is_set()
@@ -60,11 +63,58 @@ class ThreadedWork(WorkHandle):
             self._finished = True
         return self._result
 
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> np.ndarray:
+        if not self._finished:
+            raise WorkHandleError(
+                f"result of {self._op} posted at {self._site or 'unknown site'} "
+                "accessed before finish()/wait(); the collective is still in flight"
+            )
+        return self._result
+
+    def __del__(self) -> None:
+        # Under sanitize mode, a posted-but-never-finished handle is lost
+        # communication: the peers' matching calls will block forever.
+        try:
+            if self._finished:
+                return
+            sanitizer = getattr(self._world, "sanitizer", None)
+            if sanitizer is None:
+                return
+            sanitizer.on_leaked(self._rank)
+            warnings.warn(
+                f"WorkHandle for {self._op} (posted at {self._site or 'unknown site'}) "
+                "was garbage-collected without finish(); the collective was never "
+                "completed on this rank",
+                ResourceWarning,
+                stacklevel=2,
+            )
+        except Exception:  # interpreter shutdown: modules may be half-torn-down
+            pass
+
 
 class ThreadedWorld:
-    """Shared state for an in-process world of ``world_size`` ranks."""
+    """Shared state for an in-process world of ``world_size`` ranks.
 
-    def __init__(self, world_size: int, cost_model: Optional[PerformanceModel] = None, timeout: float = 60.0) -> None:
+    With ``sanitize=True`` (default: the ``REPRO_SANITIZE`` env toggle) a
+    :class:`~repro.analysis.sanitizer.CollectiveSanitizer` is attached:
+    every ``post_collective`` is cross-checked against the other ranks'
+    schedules, barriers verify per-group collective counts, and a violation
+    *poisons* the world — all blocked ranks are woken with the structured
+    :class:`~repro.analysis.sanitizer.SanitizerError` instead of deadlocking.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        cost_model: Optional[PerformanceModel] = None,
+        timeout: float = 60.0,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
@@ -72,7 +122,37 @@ class ThreadedWorld:
         self.log = CommunicationLog(world_size, cost_model)
         self._lock = threading.Lock()
         self._slots: Dict[Tuple, _CollectiveSlot] = {}
-        self._barrier = threading.Barrier(world_size)
+        self._poisoned: Optional[SanitizerError] = None
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: Optional[CollectiveSanitizer] = None
+        if sanitize:
+            self.sanitizer = CollectiveSanitizer(world_size)
+            self.sanitizer.bind_poison(self._poison)
+            self._barrier = threading.Barrier(world_size, action=self.sanitizer.barrier_check)
+        else:
+            self._barrier = threading.Barrier(world_size)
+
+    def _poison(self, error: SanitizerError, abort_barrier: bool = True) -> None:
+        """Fail fast on a sanitizer violation: wake every blocked rank.
+
+        Pending rendezvous waiters are released (they re-check ``_poisoned``
+        before trusting the slot) and the barrier is broken, so a divergent
+        schedule surfaces as a raised error on every rank instead of a
+        timeout/deadlock.  ``abort_barrier=False`` is used when the violation
+        is raised from inside the barrier action itself (the action holds the
+        barrier's internal lock, and raising there already breaks it).
+        """
+        with self._lock:
+            self._poisoned = error
+            for slot in self._slots.values():
+                slot.ready.set()
+        if abort_barrier:
+            self._barrier.abort()
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None and self.sanitizer is not None:
+            raise self.sanitizer.propagated()
 
     def communicator(self, rank: int) -> "ThreadedCommunicator":
         if not 0 <= rank < self.world_size:
@@ -111,6 +191,20 @@ class ThreadedWorld:
         the collective in the log (once, tagged with ``fused_count``) and
         releases every waiter.
         """
+        if self.sanitizer is not None:
+            self._check_poisoned()
+            # key = (op, group, per-group seq): the seq pairs this post with
+            # the other ranks' matching calls, so divergence is caught here —
+            # at post time — rather than as a downstream deadlock.
+            self.sanitizer.on_post(
+                rank=rank,
+                op=op,
+                group=group,
+                seq=key[-1],
+                src=src,
+                value=value,
+                fused_count=fused_count,
+            )
         slot = self._slot(key, len(group))
         is_producer_complete = False
         with self._lock:
@@ -135,10 +229,23 @@ class ThreadedWorld:
 
     def finish_collective(self, op: str, key: Tuple, rank: int, slot: _CollectiveSlot) -> np.ndarray:
         """Block until the posted collective completes and return a private copy."""
-        if not slot.ready.wait(self.timeout):
+        completed = slot.ready.wait(self.timeout)
+        if self._poisoned is not None:
+            self._check_poisoned()
+        if not completed:
+            if self.sanitizer is not None:
+                raise SanitizerError(
+                    "collective-timeout",
+                    f"collective {op} {key} timed out; some group member never "
+                    "posted its matching call",
+                    rank=rank,
+                    details=self.sanitizer.pending_diagnostics(),
+                )
             raise TimeoutError(f"collective {op} {key} timed out on rank {rank}")
         result = slot.result
         self._release(key, slot)
+        if self.sanitizer is not None:
+            self.sanitizer.on_finish(rank)
         return np.array(result, copy=True)
 
     def run_collective(
@@ -157,7 +264,15 @@ class ThreadedWorld:
         return self.finish_collective(op, key, rank, slot)
 
     def barrier(self) -> None:
-        self._barrier.wait(self.timeout)
+        try:
+            self._barrier.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            # Poisoned world or failed barrier_check on another thread: re-raise
+            # the structured violation instead of the bare barrier error.
+            self._check_poisoned()
+            if self.sanitizer is not None and self.sanitizer.violation is not None:
+                raise self.sanitizer.propagated() from None
+            raise
 
 
 class ThreadedCommunicator(Communicator):
@@ -180,6 +295,10 @@ class ThreadedCommunicator(Communicator):
     @property
     def log(self) -> CommunicationLog:
         return self._world.log
+
+    @property
+    def sanitizer(self) -> Optional[CollectiveSanitizer]:
+        return self._world.sanitizer
 
     def _next_key(self, group: Tuple[int, ...]) -> Tuple:
         count = self._sequence.get(group, 0)
@@ -282,13 +401,20 @@ class ThreadedCommunicator(Communicator):
         self._world.barrier()
 
 
-def run_spmd(world_size: int, fn: Callable[[ThreadedCommunicator], object], cost_model: Optional[PerformanceModel] = None) -> List[object]:
+def run_spmd(
+    world_size: int,
+    fn: Callable[[ThreadedCommunicator], object],
+    cost_model: Optional[PerformanceModel] = None,
+    sanitize: Optional[bool] = None,
+) -> List[object]:
     """Run ``fn(comm)`` on every rank of a fresh :class:`ThreadedWorld` and collect results.
 
     Exceptions raised on any rank are re-raised in the caller after all
     threads have finished (so a failing rank cannot silently hang the test).
+    ``sanitize`` forces the collective sanitizer on/off for this world
+    (default: the ``REPRO_SANITIZE`` environment toggle).
     """
-    world = ThreadedWorld(world_size, cost_model=cost_model)
+    world = ThreadedWorld(world_size, cost_model=cost_model, sanitize=sanitize)
     results: List[object] = [None] * world_size
     errors: List[Optional[BaseException]] = [None] * world_size
 

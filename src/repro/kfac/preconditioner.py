@@ -420,6 +420,12 @@ class KFAC(Preconditioner):
         """
         if lr is not None:
             self.lr = float(lr)
+        sanitizer = getattr(self.comm, "sanitizer", None)
+        if sanitizer is not None:
+            # Label this rank's position in the program so schedule-divergence
+            # reports say *where* each rank was, not just what it posted.
+            sanitizer.attach_tracer(self.rank, self.tracer)
+            sanitizer.set_phase(self.rank, f"kfac/step:{self._steps}")
         with self.tracer.span("kfac/step", category="kfac", step=self._steps):
             if self.factor_scheduler is not None:
                 self._step_scheduled(loss)
@@ -493,6 +499,16 @@ class KFAC(Preconditioner):
             # Post-allreduce: all ranks observe identical factors and hence
             # derive the identical plan without extra communication.
             sched.observe_factors(name, step, layer.factor_a, layer.factor_g)
+
+        sanitizer = getattr(self.comm, "sanitizer", None)
+        if sanitizer is not None:
+            # The refresh plan and damping are functions of allreduced state
+            # only; verify every rank derived the identical plan *before*
+            # acting on it, so a divergence surfaces here instead of as a
+            # mismatched collective schedule downstream.
+            sanitizer.check_consistent(
+                self.rank, f"kfac/plan:{step}", (sched.plan_fingerprint(step), self.damping)
+            )
 
         second_layers = [name for name in self.layers if sched.second_order_due(name, step)]
         eigen_layers = [name for name in second_layers if self.solvers[name].needs_eigen]
@@ -573,7 +589,17 @@ class KFAC(Preconditioner):
     # path passes the layers whose refresh is due this step.  Skipped layers
     # contribute no local compute and no collective traffic.
     def _layer_subset(self, names: Optional[Sequence[str]]) -> List[str]:
-        return list(self.layers) if names is None else list(names)
+        if names is None:
+            return list(self.layers)
+        # Canonicalize to registration order: every stage then iterates (and
+        # hence posts collectives) in the same deterministic order on every
+        # rank regardless of how the caller assembled the subset.
+        wanted = set(names)
+        subset = [name for name in self.layers if name in wanted]
+        if len(subset) != len(wanted):
+            unknown = sorted(wanted - set(self.layers))
+            raise KeyError(f"unknown layer name(s) in subset: {unknown}")
+        return subset
 
     def _update_local_factors(self, names: Optional[Sequence[str]] = None) -> None:
         for name in self._layer_subset(names):

@@ -24,7 +24,7 @@ provably equivalent to the fixed-frequency oracle.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -244,6 +244,21 @@ class FactorUpdateScheduler:
             for key in keys:
                 sums[key] += getattr(state, key)
         return sums
+
+    def plan_fingerprint(self, step: int) -> Tuple[Tuple[str, bool, bool], ...]:
+        """Deterministic summary of this step's refresh plan, per layer.
+
+        The plan is derived purely from allreduced factor state, so it must
+        be identical on every rank; the runtime sanitizer
+        (``REPRO_SANITIZE=1``) cross-checks this fingerprint between ranks at
+        each ``KFAC.step()`` to catch plan divergence at the decision point
+        instead of as a downstream deadlock.  Registration order of layers is
+        preserved, so the tuple is comparable across ranks directly.
+        """
+        return tuple(
+            (name, self.factors_due(name, step), self.second_order_due(name, step))
+            for name in self._layers
+        )
 
     # ---------------------------------------------------------------- state
     def state_dict(self) -> Dict[str, Any]:

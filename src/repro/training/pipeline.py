@@ -72,13 +72,24 @@ def default_hook_pipeline() -> bool:
 
 
 class _PlannedSpec:
-    """One subscriber spec plus its unfired gate ids."""
+    """One subscriber spec plus its gate ids.
 
-    __slots__ = ("spec", "pending")
+    ``gates`` preserves the spec's declaration order (params then modules,
+    first appearance wins) so gate registration iterates deterministically on
+    every rank; ``pending`` is the same ids as a set, for O(1) firing.
+    """
 
-    def __init__(self, spec: GradientBucketSpec, pending: set) -> None:
+    __slots__ = ("spec", "gates", "pending")
+
+    def __init__(self, spec: GradientBucketSpec) -> None:
         self.spec = spec
-        self.pending = pending
+        gates: List[int] = []
+        for gate in (*spec.params, *spec.modules):
+            gate_id = id(gate)
+            if gate_id not in gates:
+                gates.append(gate_id)
+        self.gates = tuple(gates)
+        self.pending = set(gates)
 
     @property
     def ready(self) -> bool:
@@ -187,9 +198,7 @@ class GradientPipeline:
             specs = list(subscriber.pipeline_specs(self))
             if not specs:
                 continue
-            planned = [
-                _PlannedSpec(spec, {id(gate) for gate in (*spec.params, *spec.modules)}) for spec in specs
-            ]
+            planned = [_PlannedSpec(spec) for spec in specs]
             for spec in specs:
                 for param in spec.params:
                     gate_objects.setdefault(id(param), (param, "param"))
@@ -208,7 +217,10 @@ class GradientPipeline:
                 planned_bucket = _PlannedBucket(bucket, bucket_specs)
                 self._plan.append(planned_bucket)
                 for planned_spec in bucket_specs:
-                    for gate in planned_spec.pending:
+                    # Iterate the declaration-ordered gate tuple, not the
+                    # `pending` set: registration order must be identical on
+                    # every rank (SPMD103).
+                    for gate in planned_spec.gates:
                         self._gates.setdefault(gate, []).append((planned_bucket, planned_spec))
         # One readiness hook per distinct gating object.  A parameter's
         # grad-ready event already fires only once its *last* consumer
@@ -299,6 +311,12 @@ class GradientPipeline:
                     self._post(planned_bucket, ready, phase="flush")
                     self.stats["buckets_posted_at_flush"] += 1
             self.scheduler.drain()
+            sanitizer = self.scheduler.sanitizer
+            if sanitizer is not None:
+                # Lost-comm check: after the drain this rank must have zero
+                # unfinished posted handles — anything left is a collective
+                # some code path posted and forgot.
+                sanitizer.assert_drained(self.comm.rank, where="pipeline/flush", tracer=self.tracer)
         self._disarm()
         for subscriber in self.subscribers:
             on_flush = getattr(subscriber, "on_pipeline_flush", None)
