@@ -40,7 +40,13 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 #: Environment toggles recorded in every benchmark file (reproducibility).
-_RECORDED_TOGGLES = ("REPRO_COMM_OVERLAP", "REPRO_HOOK_PIPELINE", "REPRO_ADAPTIVE", "REPRO_TRACE")
+_RECORDED_TOGGLES = (
+    "REPRO_COMM_OVERLAP",
+    "REPRO_HOOK_PIPELINE",
+    "REPRO_ADAPTIVE",
+    "REPRO_TRACE",
+    "REPRO_KERNEL",
+)
 
 
 def bench_run_metadata() -> Dict[str, Any]:

@@ -26,9 +26,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Union
 
 from ..tensor import PrecisionPolicy
+from .kernels import available_kernel_backends, default_kernel_backend
 from .scheduling.solvers import available_solve_strategies
 
-__all__ = ["KFACConfig", "default_comm_overlap", "default_adaptive_schedule"]
+__all__ = [
+    "KFACConfig",
+    "default_comm_overlap",
+    "default_adaptive_schedule",
+    "default_kernel_backend",
+]
 
 
 def default_comm_overlap() -> bool:
@@ -118,6 +124,12 @@ class KFACConfig:
     #: Relative residual tolerance and iteration cap of the CG solver.
     cg_tol: float = 1e-8
     cg_max_iter: int = 50
+    #: Named kernel backend for the hot math paths
+    #: (:mod:`repro.kfac.kernels`): ``"reference"`` is the pure-NumPy oracle,
+    #: ``"batched"`` adds shape-grouped batched eigendecomposition, fused
+    #: in-place factor updates and scratch-reusing preconditioning
+    #: contractions.  Default honours the ``REPRO_KERNEL`` env toggle.
+    kernel_backend: str = field(default_factory=default_kernel_backend)
 
     def __post_init__(self) -> None:
         # Canonicalize numeric types first so consumers always see float/int.
@@ -193,6 +205,12 @@ class KFACConfig:
                 raise ValueError(
                     f"{field_name} must be one of {available_solve_strategies()}, got {value!r}"
                 )
+        object.__setattr__(self, "kernel_backend", str(self.kernel_backend).strip().lower())
+        if self.kernel_backend not in available_kernel_backends():
+            raise ValueError(
+                f"kernel_backend must be one of {available_kernel_backends()}, "
+                f"got {self.kernel_backend!r}"
+            )
         if self.small_layer_dim < 0:
             raise ValueError("small_layer_dim must be >= 0")
         if self.cg_tol <= 0.0:

@@ -26,6 +26,7 @@ __all__ = [
     "precondition_with_inverse",
     "damped_inverse",
     "kl_clip_scale",
+    "kl_clip_scale_from_total",
     "tikhonov_pi",
 ]
 
@@ -45,26 +46,40 @@ class EigenDecomposition:
         return EigenDecomposition(self.eigenvectors.astype(dtype), self.eigenvalues.astype(dtype))
 
 
-def symmetric_eigen(factor: np.ndarray, compute_dtype=np.float32, clamp_negative: bool = True) -> EigenDecomposition:
+def symmetric_eigen(
+    factor: np.ndarray,
+    compute_dtype=np.float32,
+    clamp_negative: bool = True,
+    eigh_dtype=None,
+) -> EigenDecomposition:
     """Eigen-decompose a symmetric Kronecker factor.
 
     Factors are symmetric positive semi-definite by construction (Eq. 9), so
     eigenvalues are real and eigenvectors orthogonal; tiny negative
     eigenvalues caused by floating-point round-off are clamped to zero.  Per
     paper section 3.3, the decomposition is always computed in at least
-    single precision even when factors are stored in fp16.
+    single precision even when factors are stored in fp16: the solve runs in
+    ``promote_types(compute_dtype, float32)``, so fp32 policies decompose in
+    fp32 and fp64 policies in fp64.  ``eigh_dtype`` overrides the solve
+    precision explicitly (e.g. ``np.float64`` to force a double-precision
+    decomposition under an fp32 policy).
     """
     if factor.ndim != 2 or factor.shape[0] != factor.shape[1]:
         raise ValueError(f"factor must be square, got shape {factor.shape}")
-    work = factor.astype(compute_dtype, copy=False)
+    compute_dtype = np.dtype(compute_dtype)
+    if eigh_dtype is not None:
+        solve_dtype = np.dtype(eigh_dtype)
+    else:
+        solve_dtype = np.promote_types(compute_dtype, np.float32)
+    work = factor.astype(solve_dtype, copy=False)
     # Symmetrize to protect against accumulation drift before decomposition.
     work = 0.5 * (work + work.T)
-    eigenvalues, eigenvectors = sla.eigh(work.astype(np.float64))
+    eigenvalues, eigenvectors = sla.eigh(work)
     if clamp_negative:
         eigenvalues = np.maximum(eigenvalues, 0.0)
     return EigenDecomposition(
-        eigenvectors=eigenvectors.astype(compute_dtype),
-        eigenvalues=eigenvalues.astype(compute_dtype),
+        eigenvectors=eigenvectors.astype(compute_dtype, copy=False),
+        eigenvalues=eigenvalues.astype(compute_dtype, copy=False),
     )
 
 
@@ -138,14 +153,14 @@ def precondition_with_eigen(
         Optional π correction applied if the outer product must be
         recomputed (a cached ``inverse_outer`` already embeds its π).
     """
-    q_a = eig_a.eigenvectors.astype(np.float32)
-    q_g = eig_g.eigenvectors.astype(np.float32)
-    grad32 = grad.astype(np.float32)
+    q_a = eig_a.eigenvectors.astype(np.float32, copy=False)
+    q_g = eig_g.eigenvectors.astype(np.float32, copy=False)
+    grad32 = grad.astype(np.float32, copy=False)
     v1 = q_g.T @ grad32 @ q_a  # Eq. 15
     if inverse_outer is None:
         inverse_outer = eigenvalue_outer_product(eig_a, eig_g, damping, pi=pi)
-    v2 = v1 * inverse_outer.astype(np.float32)  # Eq. 16
-    return (q_g @ v2 @ q_a.T).astype(grad.dtype)  # Eq. 17
+    v2 = v1 * inverse_outer.astype(np.float32, copy=False)  # Eq. 16
+    return (q_g @ v2 @ q_a.T).astype(grad.dtype, copy=False)  # Eq. 17
 
 
 def damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
@@ -157,7 +172,11 @@ def damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
 
 def precondition_with_inverse(grad: np.ndarray, inv_a: np.ndarray, inv_g: np.ndarray) -> np.ndarray:
     """Precondition with explicit inverses: ``G⁻¹ ∇L A⁻¹`` (Eq. 11)."""
-    return (inv_g.astype(np.float32) @ grad.astype(np.float32) @ inv_a.astype(np.float32)).astype(grad.dtype)
+    return (
+        inv_g.astype(np.float32, copy=False)
+        @ grad.astype(np.float32, copy=False)
+        @ inv_a.astype(np.float32, copy=False)
+    ).astype(grad.dtype, copy=False)
 
 
 def kl_clip_scale(
@@ -172,8 +191,21 @@ def kl_clip_scale(
     """
     total = 0.0
     for grad, precond in grads_and_precond:
-        total += float(np.sum(grad.astype(np.float64) * precond.astype(np.float64)))
-    total *= lr * lr
+        total += float(
+            np.sum(grad.astype(np.float64, copy=False) * precond.astype(np.float64, copy=False))
+        )
+    return kl_clip_scale_from_total(total, lr, kl_clip)
+
+
+def kl_clip_scale_from_total(total: float, lr: float, kl_clip: float) -> float:
+    """``nu`` from an already-accumulated ``sum <precond, grad>``.
+
+    Split out of :func:`kl_clip_scale` so callers that need the raw inner
+    product for other purposes (e.g. the adaptive damping controller's
+    quadratic model) can accumulate it once and derive ``nu`` from it,
+    bitwise-identically to the fused helper.
+    """
+    total = total * (lr * lr)
     if total <= 0.0:
         return 1.0
     return min(1.0, float(np.sqrt(kl_clip / total)))

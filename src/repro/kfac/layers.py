@@ -33,7 +33,8 @@ from ..nn.linear import Linear
 from ..nn.module import Module
 from ..nn.norm import LayerNorm
 from ..tensor import PrecisionPolicy, Tensor
-from .kmath import EigenDecomposition, eigenvalue_outer_product, precondition_with_eigen, symmetric_eigen
+from .kernels import KernelBackend, ReferenceKernelBackend
+from .kmath import EigenDecomposition, eigenvalue_outer_product
 from .strategy import LayerShapeInfo
 
 __all__ = [
@@ -50,6 +51,10 @@ __all__ = [
 
 #: Module type -> handler class.  Mutated only through :func:`register_kfac_layer`.
 _LAYER_REGISTRY: Dict[Type[Module], Type["KFACLayer"]] = {}
+
+#: Stateless fallback backend for layers built without an explicit one
+#: (direct ``KFACLayer(...)`` construction in tests and tools).
+_REFERENCE_KERNELS = ReferenceKernelBackend()
 
 
 def register_kfac_layer(*module_types: Type[Module]):
@@ -108,12 +113,17 @@ class KFACLayer:
         precision: PrecisionPolicy,
         should_accumulate: Callable[[], bool],
         grad_scale: Callable[[], float],
+        kernels: Optional[KernelBackend] = None,
     ) -> None:
         self.name = name
         self.module = module
         self.precision = precision
         self._should_accumulate = should_accumulate
         self._grad_scale = grad_scale
+        # Kernel backend for the hot math (eigen solve, decay blend, Eq. 15-17
+        # contraction).  The owning preconditioner passes its per-instance
+        # backend; standalone construction gets the stateless reference one.
+        self.kernels = kernels if kernels is not None else _REFERENCE_KERNELS
         self.has_bias = getattr(module, "bias", None) is not None
 
         # Accumulated raw statistics for the current factor-update window.
@@ -231,8 +241,8 @@ class KFACLayer:
             self.factor_g = g_new.astype(dtype)
         else:
             decay = float(factor_decay)
-            self.factor_a = (decay * self.factor_a.astype(np.float32) + (1 - decay) * a_new).astype(dtype)
-            self.factor_g = (decay * self.factor_g.astype(np.float32) + (1 - decay) * g_new).astype(dtype)
+            self.factor_a = self.kernels.fused_decay_update(self.factor_a, a_new, decay, dtype)
+            self.factor_g = self.kernels.fused_decay_update(self.factor_g, g_new, decay, dtype)
 
     def set_factors(self, factor_a: np.ndarray, factor_g: np.ndarray) -> None:
         """Overwrite the running-average factors (used after the factor allreduce)."""
@@ -251,8 +261,8 @@ class KFACLayer:
             raise RuntimeError(f"layer {self.name!r} has no factors to decompose")
         compute = self.precision.compute_dtype
         store = self.precision.inverse_dtype
-        self.eigen_a = symmetric_eigen(self.factor_a, compute_dtype=compute).astype(store)
-        self.eigen_g = symmetric_eigen(self.factor_g, compute_dtype=compute).astype(store)
+        self.eigen_a = self.kernels.symmetric_eigen(self.factor_a, compute_dtype=compute).astype(store)
+        self.eigen_g = self.kernels.symmetric_eigen(self.factor_g, compute_dtype=compute).astype(store)
         if compute_outer:
             self.inverse_outer = eigenvalue_outer_product(self.eigen_a, self.eigen_g, damping, dtype=store, pi=pi)
         else:
@@ -380,7 +390,9 @@ class KFACLayer:
         if not self.has_eigen:
             raise RuntimeError(f"layer {self.name!r} has no eigen decompositions")
         grad = self.get_gradient()
-        return precondition_with_eigen(grad, self.eigen_a, self.eigen_g, damping, self.inverse_outer, pi=pi)
+        return self.kernels.precondition_contract(
+            grad, self.eigen_a, self.eigen_g, damping, self.inverse_outer, pi=pi
+        )
 
     # --------------------------------------------------------------- memory
     def factor_bytes(self) -> int:
@@ -448,19 +460,23 @@ class KFACLinearLayer(KFACLayer):
         weight_grad = self.module.weight.grad
         if weight_grad is None:
             raise RuntimeError(f"layer {self.name!r} has no weight gradient")
-        grad = weight_grad.astype(np.float32)
+        grad = weight_grad.astype(np.float32, copy=False)
         if self.has_bias:
-            bias_grad = self.module.bias.grad.astype(np.float32).reshape(-1, 1)
+            bias_grad = self.module.bias.grad.astype(np.float32, copy=False).reshape(-1, 1)
             grad = np.concatenate([grad, bias_grad], axis=1)
         return grad
 
     def set_gradient(self, matrix: np.ndarray) -> None:
         if self.has_bias:
             weight, bias = matrix[:, :-1], matrix[:, -1]
-            self.module.bias.grad = bias.astype(self.module.bias.data.dtype).reshape(self.module.bias.shape)
+            self.module.bias.grad = bias.astype(self.module.bias.data.dtype, copy=False).reshape(
+                self.module.bias.shape
+            )
         else:
             weight = matrix
-        self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+        self.module.weight.grad = weight.astype(self.module.weight.data.dtype, copy=False).reshape(
+            self.module.weight.shape
+        )
 
 
 @register_kfac_layer(Conv2d)
@@ -502,19 +518,23 @@ class KFACConv2dLayer(KFACLayer):
         weight_grad = self.module.weight.grad
         if weight_grad is None:
             raise RuntimeError(f"layer {self.name!r} has no weight gradient")
-        grad = weight_grad.reshape(self.module.out_channels, -1).astype(np.float32)
+        grad = weight_grad.reshape(self.module.out_channels, -1).astype(np.float32, copy=False)
         if self.has_bias:
-            bias_grad = self.module.bias.grad.astype(np.float32).reshape(-1, 1)
+            bias_grad = self.module.bias.grad.astype(np.float32, copy=False).reshape(-1, 1)
             grad = np.concatenate([grad, bias_grad], axis=1)
         return grad
 
     def set_gradient(self, matrix: np.ndarray) -> None:
         if self.has_bias:
             weight, bias = matrix[:, :-1], matrix[:, -1]
-            self.module.bias.grad = bias.astype(self.module.bias.data.dtype).reshape(self.module.bias.shape)
+            self.module.bias.grad = bias.astype(self.module.bias.data.dtype, copy=False).reshape(
+                self.module.bias.shape
+            )
         else:
             weight = matrix
-        self.module.weight.grad = weight.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+        self.module.weight.grad = weight.astype(self.module.weight.data.dtype, copy=False).reshape(
+            self.module.weight.shape
+        )
 
 
 @register_kfac_layer(Embedding)
@@ -566,10 +586,12 @@ class KFACEmbeddingLayer(KFACLayer):
         if weight_grad is None:
             raise RuntimeError(f"layer {self.name!r} has no weight gradient")
         # The handler convention is (g_dim, a_dim); the weight is (vocab, dim).
-        return weight_grad.astype(np.float32).T
+        return weight_grad.astype(np.float32, copy=False).T
 
     def set_gradient(self, matrix: np.ndarray) -> None:
-        self.module.weight.grad = matrix.T.astype(self.module.weight.data.dtype).reshape(self.module.weight.shape)
+        self.module.weight.grad = matrix.T.astype(self.module.weight.data.dtype, copy=False).reshape(
+            self.module.weight.shape
+        )
 
 
 @register_kfac_layer(LayerNorm)
@@ -625,17 +647,17 @@ class KFACLayerNormLayer(KFACLayer):
         weight_grad = self.module.weight.grad
         if weight_grad is None:
             raise RuntimeError(f"layer {self.name!r} has no weight gradient")
-        columns = [weight_grad.astype(np.float32).reshape(-1, 1)]
+        columns = [weight_grad.astype(np.float32, copy=False).reshape(-1, 1)]
         if self.has_bias:
-            columns.append(self.module.bias.grad.astype(np.float32).reshape(-1, 1))
+            columns.append(self.module.bias.grad.astype(np.float32, copy=False).reshape(-1, 1))
         return np.concatenate(columns, axis=1)
 
     def set_gradient(self, matrix: np.ndarray) -> None:
         weight = self.module.weight
-        weight.grad = matrix[:, 0].astype(weight.data.dtype).reshape(weight.shape)
+        weight.grad = matrix[:, 0].astype(weight.data.dtype, copy=False).reshape(weight.shape)
         if self.has_bias:
             bias = self.module.bias
-            bias.grad = matrix[:, 1].astype(bias.data.dtype).reshape(bias.shape)
+            bias.grad = matrix[:, 1].astype(bias.data.dtype, copy=False).reshape(bias.shape)
 
 
 def make_kfac_layer(
@@ -644,9 +666,10 @@ def make_kfac_layer(
     precision: PrecisionPolicy,
     should_accumulate: Callable[[], bool],
     grad_scale: Callable[[], float],
+    kernels: Optional[KernelBackend] = None,
 ) -> Optional[KFACLayer]:
     """Create the registered handler for ``module`` or ``None`` if unsupported."""
     handler_cls = resolve_kfac_layer(module)
     if handler_cls is None or not handler_cls.supports(module):
         return None
-    return handler_cls(name, module, precision, should_accumulate, grad_scale)
+    return handler_cls(name, module, precision, should_accumulate, grad_scale, kernels=kernels)

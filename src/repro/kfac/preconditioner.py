@@ -66,7 +66,8 @@ from ..observability import NULL_TRACER
 from ..tensor import PrecisionPolicy
 from .base import Preconditioner
 from .config import KFACConfig
-from .kmath import kl_clip_scale, tikhonov_pi
+from .kernels import make_kernel_backend
+from .kmath import kl_clip_scale_from_total, tikhonov_pi
 from .layers import KFACLayer, make_kfac_layer
 from .scheduling import AdaptiveDampingController, FactorUpdateScheduler, SolveStrategy, make_solve_strategy
 from .strategy import DistributionStrategy, LayerWorkGroups
@@ -107,6 +108,7 @@ class KFAC(Preconditioner):
         small_layer_dim: Optional[int] = None,
         cg_tol: Optional[float] = None,
         cg_max_iter: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
         profiler=None,
         tracer=None,
         strategy: Optional[DistributionStrategy] = None,
@@ -149,6 +151,9 @@ class KFAC(Preconditioner):
             ("small_layer_dim", small_layer_dim),
             ("cg_tol", cg_tol),
             ("cg_max_iter", cg_max_iter),
+            # Kernel backend: None defers to the KFACConfig default
+            # (including the REPRO_KERNEL environment toggle).
+            ("kernel_backend", kernel_backend),
         ):
             if value is not None:
                 overlap_overrides[key] = value
@@ -214,6 +219,12 @@ class KFAC(Preconditioner):
         self.factor_scheduler: Optional[FactorUpdateScheduler] = None
         self.solvers: Optional[Dict[str, SolveStrategy]] = None
         self.damping_controller: Optional[AdaptiveDampingController] = None
+        # One kernel-backend instance per preconditioner (per rank): backends
+        # may own mutable scratch buffers, so they must not be shared across
+        # the threaded ranks of a multi-rank world.  Built before layer
+        # registration because every layer routes its hot math through it.
+        self.kernel_backend = config.kernel_backend
+        self.kernels = make_kernel_backend(config.kernel_backend)
         self.layers: Dict[str, KFACLayer] = {}
         self._register_model(model)
         if not self.layers:
@@ -342,6 +353,7 @@ class KFAC(Preconditioner):
                 self.precision,
                 should_accumulate=lambda layer_name=layer_name: self._should_accumulate(layer_name),
                 grad_scale=self._current_grad_scale,
+                kernels=self.kernels,
             )
             if layer is not None:
                 self.layers[layer.name] = layer
@@ -656,8 +668,70 @@ class KFAC(Preconditioner):
     # The placement of the decompositions, which ranks keep them, and every
     # broadcast plan are owned by the strategy object (section 3.1).
     def _compute_eigen_decompositions(self, names: Optional[Sequence[str]] = None) -> None:
-        for name in self._layer_subset(names):
+        subset = self._layer_subset(names)
+        if self.kernels.supports_batched_eigen and self._compute_eigen_batched(subset):
+            return
+        for name in subset:
             self.strategy.compute_eigen(self.layers[name], self.groups[name], self)
+
+    def _compute_eigen_batched(self, subset: Sequence[str]) -> bool:
+        """Shape-grouped batched eigen dispatch for the due-layer ``subset``.
+
+        The strategy publishes which factors this rank decomposes
+        (:meth:`~repro.kfac.strategy.DistributionStrategy.local_eigen_tasks`);
+        the factors are grouped by shape/dtype and each group goes through
+        one :meth:`~repro.kfac.kernels.KernelBackend.batched_symmetric_eigen`
+        call, landing the decompositions exactly where the per-layer path
+        would have.  Only due layers enter a batch, so the adaptive
+        scheduler's skip decisions are preserved verbatim.  Returns ``False``
+        (caller falls back to per-layer ``compute_eigen``) when the strategy
+        has no grouped plan — custom strategies keep working unbatched.
+        """
+        tasks: List[tuple] = []
+        for name in subset:
+            which_list = self.strategy.local_eigen_tasks(self.layers[name], self.groups[name], self)
+            if which_list is None:
+                return False
+            for which in which_list:
+                tasks.append((name, which))
+        shape_groups: Dict[tuple, List[tuple]] = {}
+        for name, which in tasks:
+            layer = self.layers[name]
+            factor = layer.factor_a if which == "a" else layer.factor_g
+            if factor is None:
+                raise RuntimeError(f"layer {name!r} has no {which.upper()} factor to decompose")
+            key = (factor.shape, factor.dtype.str)
+            shape_groups.setdefault(key, []).append((name, which))
+        compute = self.precision.compute_dtype
+        store = self.precision.inverse_dtype
+        batch_sizes: List[int] = []
+        for members in shape_groups.values():
+            factors = []
+            for name, which in members:
+                layer = self.layers[name]
+                factors.append(layer.factor_a if which == "a" else layer.factor_g)
+            decompositions = self.kernels.batched_symmetric_eigen(factors, compute_dtype=compute)
+            for (name, which), decomposition in zip(members, decompositions):
+                layer = self.layers[name]
+                if which == "a":
+                    layer.eigen_a = decomposition.astype(store)
+                else:
+                    layer.eigen_g = decomposition.astype(store)
+            batch_sizes.append(len(members))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "kfac/kernel_dispatch",
+                category="kfac",
+                step=self._steps,
+                backend=self.kernels.name,
+                op="batched_symmetric_eigen",
+                factors=len(tasks),
+                batches=len(batch_sizes),
+                batch_sizes=batch_sizes,
+            )
+        for name in subset:
+            self.strategy.finalize_local_eigen(self.layers[name], self.groups[name], self)
+        return True
 
     def _broadcast_eigen_decompositions(self, names: Optional[Sequence[str]] = None) -> None:
         subset = self._layer_subset(names)
@@ -734,11 +808,11 @@ class KFAC(Preconditioner):
             if precond is None:
                 raise RuntimeError(f"missing preconditioned gradient for layer {name!r}")
             pairs.append((layer.get_gradient(), precond))
-        nu = kl_clip_scale(pairs, self.lr, self.kl_clip)
-        raw_total = 0.0
-        if self.damping_controller is not None:
-            for grad, precond in pairs:
-                raw_total += float(np.sum(grad.astype(np.float64) * precond.astype(np.float64)))
+        # One backend-accumulated Σ⟨grad, precond⟩ feeds both ν and the
+        # damping controller's prediction (the controller total used to be a
+        # redundant second pass over the identical products).
+        raw_total = self.kernels.kl_clip_accumulate(pairs)
+        nu = kl_clip_scale_from_total(raw_total, self.lr, self.kl_clip)
         for (name, layer), (_, precond) in zip(self.layers.items(), pairs):
             layer.set_gradient(precond * nu)
         return nu, raw_total

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..distributed.collectives import BroadcastSpec
 from .assignment import greedy_lpt_assignment
-from .kmath import EigenDecomposition, eigenvalue_outer_product, symmetric_eigen
+from .kmath import EigenDecomposition, eigenvalue_outer_product
 from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
@@ -203,7 +203,11 @@ def _compute_single_eigen(layer: "KFACLayer", which: str, precision) -> EigenDec
     factor = layer.factor_a if which == "a" else layer.factor_g
     if factor is None:
         raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor")
-    return symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(precision.inverse_dtype)
+    # Route through the layer's kernel backend so per-factor placement
+    # (COMM-OPT) uses the same eigen kernel as layer.compute_eigen().
+    return layer.kernels.symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(
+        precision.inverse_dtype
+    )
 
 
 class DistributionStrategy:
@@ -294,6 +298,29 @@ class DistributionStrategy:
     def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         """Compute this rank's share of ``layer``'s eigen decompositions."""
         raise NotImplementedError
+
+    def local_eigen_tasks(
+        self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC"
+    ) -> Optional[List[str]]:
+        """Which of ``layer``'s factors (``"a"``/``"g"``) this rank decomposes.
+
+        The grouped-dispatch seam for batched kernel backends: the
+        preconditioner collects every (layer, factor) pair this rank owns,
+        groups the factors by shape, and decomposes each group in one
+        batched call — so decompositions land exactly where
+        :meth:`compute_eigen` would have placed them.  ``None`` (the base
+        default) means the strategy publishes no grouped plan and the
+        preconditioner falls back to per-layer :meth:`compute_eigen`.
+        """
+        return None
+
+    def finalize_local_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        """Post-batch hook mirroring the non-eigen tail of :meth:`compute_eigen`.
+
+        Runs once per layer after its batched decompositions are installed
+        (e.g. HYBRID-OPT's eigen worker forms the cached eigenvalue outer
+        product here, exactly as ``layer.compute_eigen`` would have).
+        """
 
     def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         """Distribute (or drop) the eigen state according to the memory plan."""
@@ -452,6 +479,19 @@ class CommOptStrategy(DistributionStrategy):
         if pre.rank == group.eigen_worker_g:
             layer.eigen_g = _compute_single_eigen(layer, "g", pre.precision)
 
+    def local_eigen_tasks(
+        self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC"
+    ) -> Optional[List[str]]:
+        tasks: List[str] = []
+        if pre.rank == group.eigen_worker_a:
+            tasks.append("a")
+        if pre.rank == group.eigen_worker_g:
+            tasks.append("g")
+        return tasks
+
+    # finalize_local_eigen: nothing to do — the outer product is formed by
+    # every rank after the eigen broadcast (see broadcast_eigen's tail).
+
     def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         dtype = pre.precision.inverse_dtype
         layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, group.eigen_worker_a, None, dtype)
@@ -551,6 +591,29 @@ class HybridOptStrategy(DistributionStrategy):
     def compute_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         if pre.rank == group.eigen_worker:
             layer.compute_eigen(pre.damping, compute_outer=pre.compute_eigen_outer, pi=pre.damping_pi(layer))
+
+    def local_eigen_tasks(
+        self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC"
+    ) -> Optional[List[str]]:
+        if pre.rank == group.eigen_worker:
+            return ["a", "g"]
+        return []
+
+    def finalize_local_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
+        # The tail of layer.compute_eigen(): the eigen worker caches the
+        # eigenvalue outer product before broadcasting it to its block.
+        if pre.rank != group.eigen_worker:
+            return
+        if pre.compute_eigen_outer:
+            layer.inverse_outer = eigenvalue_outer_product(
+                layer.eigen_a,
+                layer.eigen_g,
+                pre.damping,
+                dtype=layer.precision.inverse_dtype,
+                pi=pre.damping_pi(layer),
+            )
+        else:
+            layer.inverse_outer = None
 
     def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         # Only the gradient workers receive (and keep) the eigen decompositions

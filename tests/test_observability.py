@@ -327,7 +327,13 @@ def test_write_bench_json_envelope(tmp_path):
     assert doc["metrics"] == {"spans": {}}
     run = doc["run"]
     assert set(run) >= {"timestamp", "python", "numpy", "platform", "env"}
-    assert set(run["env"]) == {"REPRO_COMM_OVERLAP", "REPRO_HOOK_PIPELINE", "REPRO_ADAPTIVE", "REPRO_TRACE"}
+    assert set(run["env"]) == {
+        "REPRO_COMM_OVERLAP",
+        "REPRO_HOOK_PIPELINE",
+        "REPRO_ADAPTIVE",
+        "REPRO_TRACE",
+        "REPRO_KERNEL",
+    }
 
 
 # ---------------------------------------------------------------------------
