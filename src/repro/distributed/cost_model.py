@@ -191,6 +191,24 @@ class PerformanceModel:
         flops = 9.0 * float(n) ** 3  # reduction to tridiagonal + QR iterations
         return flops / (self.device.peak_flops_fp32 * self.eigen_efficiency)
 
+    def diagonal_eigen_time(self, n: int, dtype_bytes: int = 4) -> float:
+        """Time to "decompose" a diagonal factor of dimension ``n``.
+
+        A diagonal matrix is its own spectrum (identity eigenbasis), so the
+        decomposition degenerates to an O(n) clamp over the stored vector.
+        Priced at the same low eigen efficiency as the dense path so the two
+        estimates stay comparable.
+        """
+        if n <= 0:
+            return 0.0
+        return float(n) / (self.device.peak_flops_fp32 * self.eigen_efficiency)
+
+    def block_eigen_time(self, num_blocks: int, block_size: int, dtype_bytes: int = 4) -> float:
+        """Time to decompose a block-diagonal factor: ``num_blocks`` independent problems."""
+        if num_blocks <= 0 or block_size <= 0:
+            return 0.0
+        return float(num_blocks) * self.eigen_decomposition_time(block_size, dtype_bytes)
+
     def matmul_flops(self, m: int, n: int, k: int) -> float:
         """FLOPs of an ``(m x k) @ (k x n)`` matrix multiplication."""
         return 2.0 * float(m) * float(n) * float(k)

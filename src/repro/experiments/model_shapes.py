@@ -23,11 +23,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..kfac.analysis import KFACWorkloadSpec
+from ..kfac.factors import FactorRepr
 from ..kfac.strategy import LayerShapeInfo
 from ..models import resnet18, resnet50, resnet101, resnet152
 from ..nn.conv import Conv2d
+from ..nn.embedding import Embedding
 from ..nn.linear import Linear
 from ..nn.module import Module
+from ..nn.norm import BatchNorm2d, LayerNorm
 
 __all__ = [
     "collect_layer_shapes",
@@ -39,13 +42,26 @@ __all__ = [
 PAPER_WORKLOAD_NAMES = ("resnet18", "resnet50", "resnet101", "resnet152", "mask_rcnn", "bert_large")
 
 
-def collect_layer_shapes(model: Module, skip_modules: Sequence[Module] = ()) -> List[LayerShapeInfo]:
-    """Extract the K-FAC layer shapes (Linear/Conv2d) from an instantiated model."""
+def collect_layer_shapes(
+    model: Module,
+    skip_modules: Sequence[Module] = (),
+    include_structured: bool = False,
+) -> List[LayerShapeInfo]:
+    """Extract the K-FAC layer shapes from an instantiated model.
+
+    Linear/Conv2d (dense factors) are always collected — the population the
+    paper's Tables 4-5 cost.  ``include_structured=True`` additionally covers
+    the structured-factor handlers (LayerNorm / affine BatchNorm2d with a
+    diagonal G, Embedding with a diagonal A), tagging each
+    :class:`LayerShapeInfo` with the same :class:`FactorRepr` the real
+    handlers use; the default keeps the paper-table specs byte-identical.
+    """
     skip = {id(m) for m in skip_modules}
     shapes: List[LayerShapeInfo] = []
     for name, module in model.named_modules():
         if id(module) in skip:
             continue
+        a_repr = g_repr = None
         if isinstance(module, Linear):
             a_dim = module.in_features + (1 if module.bias is not None else 0)
             g_dim = module.out_features
@@ -53,9 +69,28 @@ def collect_layer_shapes(model: Module, skip_modules: Sequence[Module] = ()) -> 
             kh, kw = module.kernel_size
             a_dim = module.in_channels * kh * kw + (1 if module.bias is not None else 0)
             g_dim = module.out_channels
+        elif include_structured and isinstance(module, (LayerNorm, BatchNorm2d)):
+            if isinstance(module, BatchNorm2d) and not module.affine:
+                continue
+            a_dim = 1 + (1 if getattr(module, "bias", None) is not None else 0)
+            g_dim = module.normalized_shape if isinstance(module, LayerNorm) else module.num_features
+            g_repr = FactorRepr.diagonal(g_dim)
+        elif include_structured and isinstance(module, Embedding):
+            a_dim = module.num_embeddings
+            g_dim = module.embedding_dim
+            a_repr = FactorRepr.diagonal(a_dim)
         else:
             continue
-        shapes.append(LayerShapeInfo(name=name, a_dim=a_dim, g_dim=g_dim, grad_numel=a_dim * g_dim))
+        shapes.append(
+            LayerShapeInfo(
+                name=name,
+                a_dim=a_dim,
+                g_dim=g_dim,
+                grad_numel=a_dim * g_dim,
+                a_repr=a_repr,
+                g_repr=g_repr,
+            )
+        )
     return shapes
 
 

@@ -20,9 +20,12 @@ import numpy as np
 
 from ..distributed.collectives import BucketManager
 from ..distributed.cost_model import PerformanceModel, amortized_update_time
+from .factors import FactorRepr
 from .strategy import DistributionStrategy, LayerShapeInfo, LayerWorkGroups
 
 __all__ = [
+    "repr_eigen_time",
+    "repr_basis_apply_flops",
     "KFACWorkloadSpec",
     "IterationBreakdown",
     "IterationTimeModel",
@@ -31,6 +34,29 @@ __all__ = [
     "update_fractions_from_stats",
     "apply_measured_fractions",
 ]
+
+
+def repr_eigen_time(perf: PerformanceModel, repr_: FactorRepr, dtype_bytes: int) -> float:
+    """Modeled decomposition time of one factor in its representation."""
+    if repr_.kind == "diagonal":
+        return perf.diagonal_eigen_time(repr_.dim, dtype_bytes)
+    if repr_.kind == "block_diagonal":
+        return perf.block_eigen_time(repr_.num_blocks, repr_.block_size, dtype_bytes)
+    return perf.eigen_decomposition_time(repr_.dim, dtype_bytes)
+
+
+def repr_basis_apply_flops(perf: PerformanceModel, repr_: FactorRepr, other_dim: int) -> float:
+    """FLOPs of applying one factor's eigenbasis to a ``repr_.dim x other_dim`` slab.
+
+    A dense basis is a full matmul; a diagonal factor's identity basis is
+    free (the contraction keeps only the elementwise eigenvalue multiply);
+    a block-diagonal basis is ``num_blocks`` small matmuls.
+    """
+    if repr_.kind == "diagonal":
+        return 0.0
+    if repr_.kind == "block_diagonal":
+        return float(repr_.num_blocks) * perf.matmul_flops(repr_.block_size, other_dim, repr_.block_size)
+    return perf.matmul_flops(repr_.dim, other_dim, repr_.dim)
 
 
 @dataclass(frozen=True)
@@ -59,14 +85,27 @@ class KFACWorkloadSpec:
 
     @property
     def factor_bytes(self) -> int:
-        """Total bytes of all Kronecker factors (A and G for every layer)."""
-        return sum((l.a_dim ** 2 + l.g_dim ** 2) * self.factor_dtype_bytes for l in self.layers)
+        """Total bytes of all Kronecker factors in their stored representation.
+
+        Dense layers contribute ``a² + g²`` elements exactly as before; layers
+        with structured factors (diagonal / block-diagonal,
+        :class:`~repro.kfac.factors.FactorRepr`) contribute their packed O(F)
+        element counts, matching what the handlers actually allocate.
+        """
+        return sum(
+            (l.a_repr.packed_numel + l.g_repr.packed_numel) * self.factor_dtype_bytes for l in self.layers
+        )
 
     @property
     def eigen_bytes_per_layer(self) -> Dict[str, int]:
         out = {}
         for l in self.layers:
-            out[l.name] = (l.a_dim ** 2 + l.a_dim + l.g_dim ** 2 + l.g_dim + l.a_dim * l.g_dim) * self.eigen_dtype_bytes
+            # Packed eigenvalues + stored eigenvectors per factor (a diagonal
+            # factor's identity basis is implicit and costs nothing), plus the
+            # cached g x a outer product.
+            out[l.name] = (
+                l.a_repr.packed_eigen_numel + l.g_repr.packed_eigen_numel + l.a_dim * l.g_dim
+            ) * self.eigen_dtype_bytes
         return out
 
     @property
@@ -159,7 +198,10 @@ class IterationTimeModel:
 
         # --- factor computation (data-parallel, identical on every rank) ----
         rows = spec.local_batch_size * spec.samples_per_input
-        factor_flops = sum(2.0 * rows * (l.a_dim ** 2 + l.g_dim ** 2) for l in spec.layers)
+        # Each factor's accumulation writes exactly its packed element count
+        # per row (dense: the full outer product; diagonal: the squared-row
+        # sum; block-diagonal: per-block outer products).
+        factor_flops = sum(2.0 * rows * (l.a_repr.packed_numel + l.g_repr.packed_numel) for l in spec.layers)
         times["factor_compute"][:] = amortized_update_time(
             self.perf.compute_time(factor_flops, dtype_b), f_freq, spec.factor_update_fraction
         )
@@ -173,8 +215,8 @@ class IterationTimeModel:
         for layer in spec.layers:
             group = groups[layer.name]
             # --- eigen decomposition (assigned workers only) ----------------
-            time_a = self.perf.eigen_decomposition_time(layer.a_dim, dtype_b)
-            time_g = self.perf.eigen_decomposition_time(layer.g_dim, dtype_b)
+            time_a = repr_eigen_time(self.perf, layer.a_repr, dtype_b)
+            time_g = repr_eigen_time(self.perf, layer.g_repr, dtype_b)
             eigen_fraction = spec.eigen_update_fraction
             times["eigen_decomposition"][group.eigen_worker_a] += amortized_update_time(
                 time_a, k_freq, eigen_fraction
@@ -185,8 +227,15 @@ class IterationTimeModel:
 
             # --- eigen broadcast --------------------------------------------
             if comm_opt:
-                bytes_a = layer.a_dim ** 2 * spec.eigen_dtype_bytes
-                bytes_g = layer.g_dim ** 2 * spec.eigen_dtype_bytes
+                # Dense keeps the historical n² proxy (eigenvectors dominate);
+                # structured factors are priced at their true packed payload
+                # (eigenvalues + any stored block eigenvectors).
+                bytes_a = (
+                    layer.a_repr.eigenvector_numel if layer.a_repr.is_dense else layer.a_repr.packed_eigen_numel
+                ) * spec.eigen_dtype_bytes
+                bytes_g = (
+                    layer.g_repr.eigenvector_numel if layer.g_repr.is_dense else layer.g_repr.packed_eigen_numel
+                ) * spec.eigen_dtype_bytes
                 duration = self.perf.broadcast_time(bytes_a, world_size) + self.perf.broadcast_time(bytes_g, world_size)
                 times["eigen_broadcast"] += amortized_update_time(duration, k_freq, eigen_fraction)
             else:
@@ -196,9 +245,11 @@ class IterationTimeModel:
                     times["eigen_broadcast"][rank] += amortized_update_time(duration, k_freq, eigen_fraction)
 
             # --- gradient preconditioning (gradient workers, every iteration)
+            # Two eigenbasis rotations per side (into and out of the basis);
+            # a diagonal factor's identity basis contributes none.
             precondition_flops = 2.0 * (
-                self.perf.matmul_flops(layer.g_dim, layer.a_dim, layer.g_dim)
-                + self.perf.matmul_flops(layer.g_dim, layer.a_dim, layer.a_dim)
+                repr_basis_apply_flops(self.perf, layer.g_repr, layer.a_dim)
+                + repr_basis_apply_flops(self.perf, layer.a_repr, layer.g_dim)
             )
             duration = self.perf.compute_time(precondition_flops, dtype_b)
             for rank in group.grad_workers:
@@ -357,8 +408,11 @@ def model_comm_schedule(
     # --- factor allreduce (world-wide; every rank participates) ------------
     factor_specs = []
     for layer in spec.layers:
-        factor_specs.append((f"{layer.name}/a", (layer.a_dim, layer.a_dim), f_dtype))
-        factor_specs.append((f"{layer.name}/g", (layer.g_dim, layer.g_dim), f_dtype))
+        # The real engine allreduces each factor in its packed wire form:
+        # (n, n) for dense, (n,) for diagonal, (blocks, bs, bs) for
+        # block-diagonal — so the modeled fusion sees the true byte counts.
+        factor_specs.append((f"{layer.name}/a", layer.a_repr.comm_shape(), f_dtype))
+        factor_specs.append((f"{layer.name}/g", layer.g_repr.comm_shape(), f_dtype))
     factor_time = 0.0
     factor_per_iter = 0.0
     if world_size > 1:
@@ -378,8 +432,10 @@ def model_comm_schedule(
         factor_per_iter = amortized_update_time(factor_time, f_freq, spec.factor_update_fraction)
 
     # --- eigen broadcast ----------------------------------------------------
-    def packed_eigen_elems(n: int) -> int:
-        return n + n * n
+    def packed_eigen_elems(repr_: FactorRepr) -> int:
+        # Eigenvalues + stored eigenvectors; the identity basis of a diagonal
+        # factor is implicit, so its packed buffer is just the spectrum.
+        return repr_.packed_eigen_numel
 
     eigen_channels: Dict[Tuple, List[Tuple[str, Tuple[int, ...], np.dtype]]] = {}
     eigen_order: List[Tuple] = []
@@ -395,8 +451,8 @@ def model_comm_schedule(
             group = groups[layer.name]
             if comm_opt:
                 world = tuple(range(world_size))
-                a_entry = (f"{layer.name}/ea", (packed_eigen_elems(layer.a_dim),), e_dtype)
-                g_entry = (f"{layer.name}/eg", (packed_eigen_elems(layer.g_dim),), e_dtype)
+                a_entry = (f"{layer.name}/ea", (packed_eigen_elems(layer.a_repr),), e_dtype)
+                g_entry = (f"{layer.name}/eg", (packed_eigen_elems(layer.g_repr),), e_dtype)
                 if fused:
                     add_to_channel((group.eigen_worker_a, world), a_entry)
                     add_to_channel((group.eigen_worker_g, world), g_entry)
@@ -413,8 +469,8 @@ def model_comm_schedule(
                 if len(members) <= 1:
                     continue
                 entries = [
-                    (f"{layer.name}/ea", (packed_eigen_elems(layer.a_dim),), e_dtype),
-                    (f"{layer.name}/eg", (packed_eigen_elems(layer.g_dim),), e_dtype),
+                    (f"{layer.name}/ea", (packed_eigen_elems(layer.a_repr),), e_dtype),
+                    (f"{layer.name}/eg", (packed_eigen_elems(layer.g_repr),), e_dtype),
                     (f"{layer.name}/outer", (layer.g_dim, layer.a_dim), e_dtype),
                 ]
                 if fused:

@@ -79,6 +79,12 @@ class KFACConfig:
     assignment_balance: str = "compute"
     compute_eigen_outer: bool = True
     triangular_comm: bool = False
+    #: Force every layer onto the dense ``F x F`` factor representation,
+    #: disabling the structured (diagonal / block-diagonal) storage, comm and
+    #: eigen fast paths of :mod:`repro.kfac.factors`.  The forced-dense path
+    #: reproduces the pre-structured numerics bitwise, so it serves as the
+    #: parity oracle for the packed representations.
+    dense_factors: bool = False
     #: Route factor allreduces, eigen broadcasts and gradient broadcasts
     #: through the asynchronous bucketed collective engine
     #: (:mod:`repro.distributed.collectives`).  Numerics are bitwise
@@ -143,6 +149,7 @@ class KFACConfig:
             ("grad_worker_frac", float),
             ("compute_eigen_outer", bool),
             ("triangular_comm", bool),
+            ("dense_factors", bool),
             ("comm_overlap", bool),
             ("adaptive_schedule", bool),
             ("drift_tol", float),

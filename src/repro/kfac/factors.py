@@ -1,0 +1,230 @@
+"""Structured Kronecker-factor representations (dense / diagonal / block-diagonal).
+
+The paper's cost analysis (Tables 4-5) prices every Kronecker factor as a
+dense ``F x F`` matrix, but several Fisher blocks are *exactly* structured:
+the affine part of a normalization layer has a provably diagonal G (no
+feature-feature cross terms are estimated), and an embedding lookup has a
+diagonal A (token frequencies).  :class:`FactorRepr` names that structure
+once and every subsystem dispatches on it instead of assuming
+``np.ndarray`` squares:
+
+* **storage** — handlers accumulate and store the packed form directly
+  (``(n,)`` for diagonal, ``(num_blocks, bs, bs)`` for block-diagonal), so
+  factor memory is O(F) / O(F·bs) instead of O(F²);
+* **communication** — allreduce/broadcast specs carry the packed payload
+  (:meth:`comm_shape`), so the bucket manager fuses on real byte counts;
+* **eigen** — a diagonal factor's eigendecomposition is a clamp (identity
+  eigenbasis), a block-diagonal factor batches per-block through the
+  kernel backends' ``batched_symmetric_eigen`` seam;
+* **cost model** — :meth:`packed_numel` / :meth:`eigen_flops` feed the
+  per-repr byte/flop accounting of ``kfac/analysis.py`` and
+  ``distributed/cost_model.py``.
+
+Dense stays the default (Linear / Conv2d); forcing ``dense`` on a
+structured layer (``KFACConfig.dense_factors``) remains available as a
+parity oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
+
+__all__ = ["FactorRepr", "FACTOR_REPR_KINDS"]
+
+#: Valid :attr:`FactorRepr.kind` values.
+FACTOR_REPR_KINDS = ("dense", "diagonal", "block_diagonal")
+
+
+@dataclass(frozen=True)
+class FactorRepr:
+    """How one Kronecker factor of dimension ``dim`` is represented.
+
+    ``kind`` is one of :data:`FACTOR_REPR_KINDS`; ``block_size`` is only
+    meaningful for ``block_diagonal`` (it must divide ``dim``).  Instances
+    are immutable and hashable, so they can key shape groups and enter
+    sanitizer fingerprints directly.
+    """
+
+    kind: str
+    dim: int
+    block_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FACTOR_REPR_KINDS:
+            raise ValueError(f"unknown factor repr kind {self.kind!r}; expected one of {FACTOR_REPR_KINDS}")
+        if int(self.dim) < 1:
+            raise ValueError(f"factor dimension must be >= 1, got {self.dim}")
+        object.__setattr__(self, "dim", int(self.dim))
+        object.__setattr__(self, "block_size", int(self.block_size))
+        if self.kind == "block_diagonal":
+            if self.block_size < 1:
+                raise ValueError("block_diagonal repr requires block_size >= 1")
+            if self.dim % self.block_size != 0:
+                raise ValueError(
+                    f"block_size {self.block_size} does not divide factor dimension {self.dim}"
+                )
+        elif self.block_size != 0:
+            raise ValueError(f"block_size is only valid for block_diagonal reprs, got kind={self.kind!r}")
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def dense(cls, dim: int) -> "FactorRepr":
+        return cls("dense", dim)
+
+    @classmethod
+    def diagonal(cls, dim: int) -> "FactorRepr":
+        return cls("diagonal", dim)
+
+    @classmethod
+    def block_diagonal(cls, dim: int, block_size: int) -> "FactorRepr":
+        return cls("block_diagonal", dim, block_size)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_dense(self) -> bool:
+        return self.kind == "dense"
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of diagonal blocks (1 for dense, ``dim`` for diagonal)."""
+        if self.kind == "block_diagonal":
+            return self.dim // self.block_size
+        return 1 if self.kind == "dense" else self.dim
+
+    @property
+    def packed_shape(self) -> Tuple[int, ...]:
+        """Shape of the stored (packed) factor array."""
+        if self.kind == "dense":
+            return (self.dim, self.dim)
+        if self.kind == "diagonal":
+            return (self.dim,)
+        return (self.num_blocks, self.block_size, self.block_size)
+
+    @property
+    def packed_numel(self) -> int:
+        """Elements in the packed factor — the O(F) vs O(F²) accounting seam."""
+        if self.kind == "dense":
+            return self.dim * self.dim
+        if self.kind == "diagonal":
+            return self.dim
+        return self.num_blocks * self.block_size * self.block_size
+
+    @property
+    def eigenvector_numel(self) -> int:
+        """Elements in the stored eigenbasis (0 for diagonal: identity, implicit)."""
+        if self.kind == "diagonal":
+            return 0
+        return self.packed_numel
+
+    @property
+    def packed_eigen_numel(self) -> int:
+        """Elements in one packed eigen buffer: eigenvalues + stored eigenvectors."""
+        return self.dim + self.eigenvector_numel
+
+    def eigen_flops(self) -> float:
+        """Flop-count proxy of one eigendecomposition in this representation.
+
+        Dense keeps the historical O(n³) proxy; diagonal is O(n) (a clamp over
+        the spectrum); block-diagonal decomposes ``num_blocks`` independent
+        ``bs x bs`` problems.
+        """
+        if self.kind == "dense":
+            return float(self.dim) ** 3
+        if self.kind == "diagonal":
+            return float(self.dim)
+        return float(self.num_blocks) * float(self.block_size) ** 3
+
+    # ---------------------------------------------------------- communication
+    def comm_shape(self, triangular: bool = False) -> Tuple[int, ...]:
+        """Wire shape of the factor payload in allreduce/broadcast specs.
+
+        Structured factors are already packed, so ``triangular`` (the dense
+        upper-triangle optimization of section 4.3) only applies to dense.
+        """
+        if self.kind == "dense" and triangular:
+            return (triangular_size(self.dim),)
+        return self.packed_shape
+
+    def comm_numel(self, triangular: bool = False) -> int:
+        shape = self.comm_shape(triangular)
+        numel = 1
+        for entry in shape:
+            numel *= int(entry)
+        return numel
+
+    def pack_comm(self, packed_factor: np.ndarray, triangular: bool = False) -> np.ndarray:
+        """Stored factor -> wire payload (identity except dense-triangular)."""
+        if self.kind == "dense" and triangular:
+            return pack_upper_triangle(packed_factor)
+        return packed_factor
+
+    def unpack_comm(self, payload: np.ndarray, triangular: bool = False) -> np.ndarray:
+        """Wire payload -> stored factor form."""
+        if self.kind == "dense" and triangular:
+            return unpack_upper_triangle(payload, self.dim)
+        return payload.reshape(self.packed_shape)
+
+    # ------------------------------------------------------------ conversions
+    def check_packed(self, packed: np.ndarray, what: str = "factor") -> None:
+        """Raise if ``packed`` does not have this repr's storage shape."""
+        if tuple(packed.shape) != self.packed_shape:
+            raise ValueError(
+                f"{what} has shape {tuple(packed.shape)}, expected {self.packed_shape} for {self.describe()}"
+            )
+
+    def to_dense(self, packed: np.ndarray) -> np.ndarray:
+        """Expand the packed factor to the mathematically equal dense matrix."""
+        packed = np.asarray(packed)
+        self.check_packed(packed)
+        if self.kind == "dense":
+            return packed
+        if self.kind == "diagonal":
+            return np.diag(packed)
+        out = np.zeros((self.dim, self.dim), dtype=packed.dtype)
+        bs = self.block_size
+        for index in range(self.num_blocks):
+            start = index * bs
+            out[start : start + bs, start : start + bs] = packed[index]
+        return out
+
+    def from_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Project a dense matrix onto this representation (inverse of :meth:`to_dense`)."""
+        dense = np.asarray(dense)
+        if dense.shape != (self.dim, self.dim):
+            raise ValueError(f"dense factor has shape {dense.shape}, expected {(self.dim, self.dim)}")
+        if self.kind == "dense":
+            return dense
+        if self.kind == "diagonal":
+            return np.ascontiguousarray(np.diagonal(dense))
+        bs = self.block_size
+        blocks = [dense[i * bs : (i + 1) * bs, i * bs : (i + 1) * bs] for i in range(self.num_blocks)]
+        return np.stack(blocks)
+
+    def trace(self, packed: np.ndarray) -> float:
+        """Trace of the represented matrix, computed on the packed form."""
+        packed = np.asarray(packed)
+        if self.kind == "dense":
+            return float(np.trace(packed.astype(np.float64)))
+        if self.kind == "diagonal":
+            return float(np.sum(packed.astype(np.float64)))
+        return float(np.einsum("nii->", packed.astype(np.float64)))
+
+    # ---------------------------------------------------------- serialization
+    def to_state(self) -> dict:
+        """Plain-dict tag for checkpoints (:meth:`KFACLayer.state_dict`)."""
+        return {"kind": self.kind, "dim": self.dim, "block_size": self.block_size}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FactorRepr":
+        return cls(str(state["kind"]), int(state["dim"]), int(state.get("block_size", 0)))
+
+    def describe(self) -> str:
+        """Compact human/sanitizer tag, e.g. ``dense:128`` or ``block_diagonal:128x16``."""
+        if self.kind == "block_diagonal":
+            return f"{self.kind}:{self.dim}x{self.block_size}"
+        return f"{self.kind}:{self.dim}"

@@ -57,10 +57,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 import numpy as np
 from scipy import linalg as sla
 
+from .factors import FactorRepr
 from .kmath import (
     EigenDecomposition,
     eigenvalue_outer_product,
     kl_clip_scale_from_total,
+    structured_precondition,
     symmetric_eigen,
 )
 
@@ -167,6 +169,51 @@ class KernelBackend:
             for factor in factors
         ]
 
+    def structured_eigen(
+        self,
+        factor: np.ndarray,
+        repr: FactorRepr,
+        compute_dtype=np.float32,
+        clamp_negative: bool = True,
+        eigh_dtype=None,
+    ) -> EigenDecomposition:
+        """Eigendecompose one factor stored in its packed representation.
+
+        * ``dense`` — the historical :meth:`symmetric_eigen` path, verbatim;
+        * ``diagonal`` — O(F): the eigenvalues *are* the (clamped) stored
+          vector and the eigenbasis is the implicit identity.  The spectrum
+          is kept in coordinate order rather than sorted — sorting would
+          force materialising a permutation basis, and the preconditioning
+          contraction is invariant to the ordering;
+        * ``block_diagonal`` — the per-block problems are routed through
+          :meth:`batched_symmetric_eigen` (the same seam the shape-grouped
+          dispatch uses), so an accelerated backend batches them for free.
+        """
+        repr.check_packed(factor)
+        if repr.kind == "dense":
+            return self.symmetric_eigen(
+                factor, compute_dtype=compute_dtype, clamp_negative=clamp_negative, eigh_dtype=eigh_dtype
+            )
+        compute_dtype = np.dtype(compute_dtype)
+        if repr.kind == "diagonal":
+            if eigh_dtype is not None:
+                solve_dtype = np.dtype(eigh_dtype)
+            else:
+                solve_dtype = np.promote_types(compute_dtype, np.float32)
+            eigenvalues = factor.astype(solve_dtype, copy=True)
+            if clamp_negative:
+                np.maximum(eigenvalues, 0.0, out=eigenvalues)
+            return EigenDecomposition(
+                eigenvectors=None, eigenvalues=eigenvalues.astype(compute_dtype, copy=False)
+            )
+        decompositions = self.batched_symmetric_eigen(
+            list(factor), compute_dtype=compute_dtype, clamp_negative=clamp_negative, eigh_dtype=eigh_dtype
+        )
+        return EigenDecomposition(
+            eigenvectors=np.stack([dec.eigenvectors for dec in decompositions]),
+            eigenvalues=np.concatenate([dec.eigenvalues for dec in decompositions]),
+        )
+
     # --------------------------------------------------------- factor update
     def fused_decay_update(
         self, running: np.ndarray, new: np.ndarray, decay: float, store_dtype
@@ -192,7 +239,14 @@ class KernelBackend:
         inverse_outer: Optional[np.ndarray] = None,
         pi: Optional[float] = None,
     ) -> np.ndarray:
-        """Apply the Eq. 15-17 eigenbasis contraction to one gradient matrix."""
+        """Apply the Eq. 15-17 eigenbasis contraction to one gradient matrix.
+
+        Structured eigenbases (identity / block stacks) take the shared
+        :func:`~repro.kfac.kmath.structured_precondition` fast path — common
+        to every backend, so backends agree bitwise on structured layers.
+        """
+        if eig_a.is_structured or eig_g.is_structured:
+            return structured_precondition(grad, eig_a, eig_g, damping, inverse_outer, pi=pi)
         q_a = eig_a.eigenvectors.astype(np.float32, copy=False)
         q_g = eig_g.eigenvectors.astype(np.float32, copy=False)
         grad32 = grad.astype(np.float32, copy=False)
@@ -379,7 +433,12 @@ class BatchedKernelBackend(KernelBackend):
         float32 inputs the BLAS calls and the elementwise multiply are the
         same operations in the same association order as the reference, so
         the result is bitwise identical.
+
+        Structured eigenbases bypass the scratch machinery for the shared
+        structured fast path (identical to the reference backend's).
         """
+        if eig_a.is_structured or eig_g.is_structured:
+            return structured_precondition(grad, eig_a, eig_g, damping, inverse_outer, pi=pi)
         q_a = eig_a.eigenvectors.astype(np.float32, copy=False)
         q_g = eig_g.eigenvectors.astype(np.float32, copy=False)
         grad32 = grad.astype(np.float32, copy=False)

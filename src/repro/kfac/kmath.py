@@ -23,6 +23,9 @@ __all__ = [
     "symmetric_eigen",
     "eigenvalue_outer_product",
     "precondition_with_eigen",
+    "structured_precondition",
+    "apply_eigenbasis_left",
+    "apply_eigenbasis_right",
     "precondition_with_inverse",
     "damped_inverse",
     "kl_clip_scale",
@@ -33,17 +36,37 @@ __all__ = [
 
 @dataclass
 class EigenDecomposition:
-    """Eigenvectors and eigenvalues of a symmetric Kronecker factor."""
+    """Eigenvectors and eigenvalues of a symmetric Kronecker factor.
 
-    eigenvectors: np.ndarray  # (n, n), columns are eigenvectors
+    ``eigenvalues`` is always the flat ``(n,)`` spectrum.  ``eigenvectors``
+    depends on the factor representation:
+
+    * ``(n, n)`` — dense factor, columns are eigenvectors;
+    * ``None`` — diagonal factor: the eigenbasis is the identity and is never
+      materialised (the eigenvalues are the clamped diagonal, kept in
+      coordinate order so they stay aligned with the implicit basis);
+    * ``(num_blocks, bs, bs)`` — block-diagonal factor: the per-block
+      eigenbases, with the eigenvalues concatenated block by block.
+    """
+
+    eigenvectors: Optional[np.ndarray]
     eigenvalues: np.ndarray  # (n,)
 
     @property
     def nbytes(self) -> int:
-        return self.eigenvectors.nbytes + self.eigenvalues.nbytes
+        total = self.eigenvalues.nbytes
+        if self.eigenvectors is not None:
+            total += self.eigenvectors.nbytes
+        return total
 
     def astype(self, dtype) -> "EigenDecomposition":
-        return EigenDecomposition(self.eigenvectors.astype(dtype), self.eigenvalues.astype(dtype))
+        eigenvectors = None if self.eigenvectors is None else self.eigenvectors.astype(dtype)
+        return EigenDecomposition(eigenvectors, self.eigenvalues.astype(dtype))
+
+    @property
+    def is_structured(self) -> bool:
+        """Whether the eigenbasis is implicit (diagonal) or a block stack."""
+        return self.eigenvectors is None or self.eigenvectors.ndim == 3
 
 
 def symmetric_eigen(
@@ -113,19 +136,101 @@ def eigenvalue_outer_product(
     return (1.0 / outer).astype(dtype)
 
 
+def _packed_trace_and_dim(factor: np.ndarray) -> Tuple[float, int]:
+    """Trace and represented dimension of a (possibly packed) factor.
+
+    Recognises the three storage forms of :class:`repro.kfac.factors.FactorRepr`
+    by rank: 2-D is a dense square, 1-D a diagonal vector, 3-D a stack of
+    diagonal blocks — so callers holding only the array stay repr-agnostic.
+    """
+    if factor.ndim == 1:
+        return float(np.sum(factor.astype(np.float64))), factor.shape[0]
+    if factor.ndim == 3:
+        return float(np.einsum("nii->", factor.astype(np.float64))), factor.shape[0] * factor.shape[1]
+    return float(np.trace(factor.astype(np.float64))), factor.shape[0]
+
+
 def tikhonov_pi(factor_a: np.ndarray, factor_g: np.ndarray, eps: float = 1e-12) -> float:
     """Factor-trace π correction (Martens & Grosse 2015; torch-kfac's ``pi``).
 
     ``π = sqrt((tr(A)/dim_A) / (tr(G)/dim_G))`` balances the Tikhonov
     damping between the two Kronecker factors according to their relative
     scale.  Degenerate traces (zero, negative, non-finite) fall back to 1.0,
-    which reduces to the uncorrected split.
+    which reduces to the uncorrected split.  Accepts factors in any packed
+    representation (dense square, diagonal vector, block stack).
     """
-    trace_a = float(np.trace(factor_a.astype(np.float64))) / max(factor_a.shape[0], 1)
-    trace_g = float(np.trace(factor_g.astype(np.float64))) / max(factor_g.shape[0], 1)
+    raw_a, dim_a = _packed_trace_and_dim(factor_a)
+    raw_g, dim_g = _packed_trace_and_dim(factor_g)
+    trace_a = raw_a / max(dim_a, 1)
+    trace_g = raw_g / max(dim_g, 1)
     if not np.isfinite(trace_a) or not np.isfinite(trace_g) or trace_a <= eps or trace_g <= eps:
         return 1.0
     return float(np.sqrt(trace_a / trace_g))
+
+
+def apply_eigenbasis_left(x: np.ndarray, eigen: EigenDecomposition, transpose: bool) -> np.ndarray:
+    """``Qᵀ x`` (or ``Q x``) where ``Q`` may be dense, identity or block-diagonal.
+
+    ``x`` has shape ``(g_dim, a_dim)`` and ``Q`` acts on the rows.  The
+    identity basis (diagonal repr) is a no-op; a block stack multiplies each
+    row block independently.
+    """
+    q = eigen.eigenvectors
+    if q is None:
+        return x
+    if q.ndim == 2:
+        q32 = q.astype(np.float32, copy=False)
+        return (q32.T if transpose else q32) @ x
+    num_blocks, bs, _ = q.shape
+    q32 = q.astype(np.float32, copy=False)
+    blocks = x.reshape(num_blocks, bs, x.shape[-1])
+    operator = q32.transpose(0, 2, 1) if transpose else q32
+    return np.matmul(operator, blocks).reshape(x.shape)
+
+
+def apply_eigenbasis_right(x: np.ndarray, eigen: EigenDecomposition, transpose: bool) -> np.ndarray:
+    """``x Q`` (or ``x Qᵀ``) where ``Q`` may be dense, identity or block-diagonal."""
+    q = eigen.eigenvectors
+    if q is None:
+        return x
+    if q.ndim == 2:
+        q32 = q.astype(np.float32, copy=False)
+        return x @ (q32.T if transpose else q32)
+    num_blocks, bs, _ = q.shape
+    q32 = q.astype(np.float32, copy=False)
+    blocks = x.reshape(x.shape[0], num_blocks, bs)
+    operator = q32.transpose(0, 2, 1) if transpose else q32
+    return np.einsum("gnb,nbc->gnc", blocks, operator).reshape(x.shape)
+
+
+def structured_precondition(
+    grad: np.ndarray,
+    eig_a: EigenDecomposition,
+    eig_g: EigenDecomposition,
+    damping: float,
+    inverse_outer: Optional[np.ndarray] = None,
+    pi: Optional[float] = None,
+) -> np.ndarray:
+    """Eqs. 15-17 for eigen decompositions in any structured representation.
+
+    The shared fast path for non-dense eigenbases, used by every kernel
+    backend (so backends agree bitwise on structured layers): identity bases
+    skip their rotations entirely — when both factors are diagonal the whole
+    contraction collapses to ``grad * inverse_outer`` — and block stacks
+    rotate per block.  Dense-dense callers should use the historical
+    :func:`precondition_with_eigen` path instead, which this function matches
+    mathematically but not bitwise (different BLAS call shapes).
+    """
+    grad32 = grad.astype(np.float32, copy=False)
+    if inverse_outer is None:
+        inverse_outer = eigenvalue_outer_product(eig_a, eig_g, damping, pi=pi)
+    outer32 = inverse_outer.astype(np.float32, copy=False)
+    v1 = apply_eigenbasis_left(grad32, eig_g, transpose=True)  # Eq. 15
+    v1 = apply_eigenbasis_right(v1, eig_a, transpose=False)
+    v2 = v1 * outer32  # Eq. 16
+    v3 = apply_eigenbasis_left(v2, eig_g, transpose=False)  # Eq. 17
+    v3 = apply_eigenbasis_right(v3, eig_a, transpose=True)
+    return v3.astype(grad.dtype, copy=False)
 
 
 def precondition_with_eigen(
@@ -153,6 +258,8 @@ def precondition_with_eigen(
         Optional π correction applied if the outer product must be
         recomputed (a cached ``inverse_outer`` already embeds its π).
     """
+    if eig_a.is_structured or eig_g.is_structured:
+        return structured_precondition(grad, eig_a, eig_g, damping, inverse_outer, pi=pi)
     q_a = eig_a.eigenvectors.astype(np.float32, copy=False)
     q_g = eig_g.eigenvectors.astype(np.float32, copy=False)
     grad32 = grad.astype(np.float32, copy=False)

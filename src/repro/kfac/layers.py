@@ -31,8 +31,9 @@ from ..nn.embedding import Embedding
 from ..nn.functional import im2col
 from ..nn.linear import Linear
 from ..nn.module import Module
-from ..nn.norm import LayerNorm
+from ..nn.norm import BatchNorm2d, LayerNorm
 from ..tensor import PrecisionPolicy, Tensor
+from .factors import FactorRepr
 from .kernels import KernelBackend, ReferenceKernelBackend
 from .kmath import EigenDecomposition, eigenvalue_outer_product
 from .strategy import LayerShapeInfo
@@ -43,6 +44,7 @@ __all__ = [
     "KFACConv2dLayer",
     "KFACEmbeddingLayer",
     "KFACLayerNormLayer",
+    "KFACBatchNorm2dLayer",
     "make_kfac_layer",
     "register_kfac_layer",
     "resolve_kfac_layer",
@@ -114,6 +116,7 @@ class KFACLayer:
         should_accumulate: Callable[[], bool],
         grad_scale: Callable[[], float],
         kernels: Optional[KernelBackend] = None,
+        dense_factors: bool = False,
     ) -> None:
         self.name = name
         self.module = module
@@ -124,6 +127,9 @@ class KFACLayer:
         # contraction).  The owning preconditioner passes its per-instance
         # backend; standalone construction gets the stateless reference one.
         self.kernels = kernels if kernels is not None else _REFERENCE_KERNELS
+        # Parity oracle: force dense factor representations on structured
+        # handlers, reproducing the pre-structured code paths bitwise.
+        self.force_dense = bool(dense_factors)
         self.has_bias = getattr(module, "bias", None) is not None
 
         # Accumulated raw statistics for the current factor-update window.
@@ -153,9 +159,39 @@ class KFACLayer:
     def g_dim(self) -> int:
         raise NotImplementedError
 
+    # --------------------------------------------------------- representation
+    def _a_repr_impl(self) -> FactorRepr:
+        """Subclass hook: natural representation of the A factor (default dense)."""
+        return FactorRepr.dense(self.a_dim)
+
+    def _g_repr_impl(self) -> FactorRepr:
+        """Subclass hook: natural representation of the G factor (default dense)."""
+        return FactorRepr.dense(self.g_dim)
+
+    @property
+    def a_repr(self) -> FactorRepr:
+        if self.force_dense:
+            return FactorRepr.dense(self.a_dim)
+        return self._a_repr_impl()
+
+    @property
+    def g_repr(self) -> FactorRepr:
+        if self.force_dense:
+            return FactorRepr.dense(self.g_dim)
+        return self._g_repr_impl()
+
+    def factor_repr(self, which: str) -> FactorRepr:
+        """Representation of factor ``"a"`` or ``"g"``."""
+        return self.a_repr if which == "a" else self.g_repr
+
     def shape_info(self) -> LayerShapeInfo:
         return LayerShapeInfo(
-            name=self.name, a_dim=self.a_dim, g_dim=self.g_dim, grad_numel=self.g_dim * self.a_dim
+            name=self.name,
+            a_dim=self.a_dim,
+            g_dim=self.g_dim,
+            grad_numel=self.g_dim * self.a_dim,
+            a_repr=self.a_repr,
+            g_repr=self.g_repr,
         )
 
     # ---------------------------------------------------------------- hooks
@@ -197,8 +233,24 @@ class KFACLayer:
         rows = rows * rows.shape[0]
         self._add_g_stat(rows)
 
+    @staticmethod
+    def _row_outer_contribution(rows: np.ndarray, repr: FactorRepr) -> np.ndarray:
+        """``Σ rowᵀ row`` projected onto ``repr``, computed in packed form.
+
+        The dense branch is the historical expression verbatim (bitwise
+        oracle); diagonal keeps only per-coordinate squares; block-diagonal
+        keeps per-block outer products — no dense temporary is ever built.
+        """
+        if repr.kind == "dense":
+            return rows.T.astype(np.float32) @ rows.astype(np.float32)
+        rows32 = rows.astype(np.float32)
+        if repr.kind == "diagonal":
+            return np.sum(rows32 * rows32, axis=0)
+        blocks = rows32.reshape(rows32.shape[0], repr.num_blocks, repr.block_size)
+        return np.einsum("rnb,rnc->nbc", blocks, blocks)
+
     def _add_a_stat(self, rows: np.ndarray) -> None:
-        contribution = rows.T.astype(np.float32) @ rows.astype(np.float32)
+        contribution = self._row_outer_contribution(rows, self.a_repr)
         if self._a_accum is None:
             self._a_accum = contribution
         else:
@@ -206,12 +258,29 @@ class KFACLayer:
         self._a_count += rows.shape[0]
 
     def _add_g_stat(self, rows: np.ndarray) -> None:
-        contribution = rows.T.astype(np.float32) @ rows.astype(np.float32)
+        contribution = self._row_outer_contribution(rows, self.g_repr)
         if self._g_accum is None:
             self._g_accum = contribution
         else:
             self._g_accum += contribution
         self._g_count += rows.shape[0]
+
+    def _add_diagonal_g_stat(self, squares: np.ndarray, count: int) -> None:
+        """Accumulate per-feature G second moments (normalization handlers).
+
+        Structured storage adds straight into the packed vector; the forced
+        ``dense`` oracle reproduces the historical diagonal-view accumulation
+        into a dense matrix bitwise.
+        """
+        if self.g_repr.is_dense:
+            if self._g_accum is None:
+                self._g_accum = np.zeros((self.g_dim, self.g_dim), dtype=np.float32)
+            np.einsum("ii->i", self._g_accum)[...] += squares  # diagonal view: no cross terms
+        else:
+            if self._g_accum is None:
+                self._g_accum = np.zeros(self.g_dim, dtype=np.float32)
+            self._g_accum += squares
+        self._g_count += count
 
     # -------------------------------------------------------------- factors
     @property
@@ -261,8 +330,8 @@ class KFACLayer:
             raise RuntimeError(f"layer {self.name!r} has no factors to decompose")
         compute = self.precision.compute_dtype
         store = self.precision.inverse_dtype
-        self.eigen_a = self.kernels.symmetric_eigen(self.factor_a, compute_dtype=compute).astype(store)
-        self.eigen_g = self.kernels.symmetric_eigen(self.factor_g, compute_dtype=compute).astype(store)
+        self.eigen_a = self.kernels.structured_eigen(self.factor_a, self.a_repr, compute_dtype=compute).astype(store)
+        self.eigen_g = self.kernels.structured_eigen(self.factor_g, self.g_repr, compute_dtype=compute).astype(store)
         if compute_outer:
             self.inverse_outer = eigenvalue_outer_product(self.eigen_a, self.eigen_g, damping, dtype=store, pi=pi)
         else:
@@ -303,12 +372,15 @@ class KFACLayer:
         def pack_eigen(eigen: Optional[EigenDecomposition]):
             if eigen is None:
                 return None
-            return {"eigenvalues": eigen.eigenvalues.copy(), "eigenvectors": eigen.eigenvectors.copy()}
+            eigenvectors = None if eigen.eigenvectors is None else eigen.eigenvectors.copy()
+            return {"eigenvalues": eigen.eigenvalues.copy(), "eigenvectors": eigenvectors}
 
         def copy(array: Optional[np.ndarray]):
             return None if array is None else array.copy()
 
         return {
+            "a_repr": self.a_repr.to_state(),
+            "g_repr": self.g_repr.to_state(),
             "factor_a": copy(self.factor_a),
             "factor_g": copy(self.factor_g),
             "eigen_a": pack_eigen(self.eigen_a),
@@ -321,41 +393,66 @@ class KFACLayer:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore state from :meth:`state_dict`, honoring the precision policy."""
+        """Restore state from :meth:`state_dict`, honoring the precision policy.
+
+        The checkpoint's representation tags must match the layer's current
+        representations — a checkpoint taken with structured factors cannot be
+        silently reinterpreted by a forced-dense layer (or vice versa).
+        """
         factor_dtype = self.precision.factor_dtype
         inverse_dtype = self.precision.inverse_dtype
 
-        def check_square(array: np.ndarray, dim: int, what: str) -> None:
-            if array.shape != (dim, dim):
+        for which, repr in (("a", self.a_repr), ("g", self.g_repr)):
+            tag = state.get(f"{which}_repr")
+            if tag is not None and FactorRepr.from_state(tag) != repr:
                 raise ValueError(
-                    f"layer {self.name!r}: {what} has shape {array.shape}, expected {(dim, dim)}"
+                    f"layer {self.name!r}: checkpoint stores the {which.upper()} factor as "
+                    f"{FactorRepr.from_state(tag).describe()}, but the layer uses {repr.describe()}"
                 )
 
-        def load_factor(value: Optional[np.ndarray], dim: int, what: str) -> Optional[np.ndarray]:
+        def load_factor(value: Optional[np.ndarray], repr: FactorRepr, what: str) -> Optional[np.ndarray]:
             if value is None:
                 return None
             value = np.asarray(value)
-            check_square(value, dim, what)
+            try:
+                repr.check_packed(value, what)
+            except ValueError as error:
+                raise ValueError(f"layer {self.name!r}: {error}") from None
             return value.astype(factor_dtype)
 
-        def load_eigen(value, dim: int, what: str) -> Optional[EigenDecomposition]:
+        def load_eigen(value, repr: FactorRepr, what: str) -> Optional[EigenDecomposition]:
             if value is None:
                 return None
-            eigenvectors = np.asarray(value["eigenvectors"])
             eigenvalues = np.asarray(value["eigenvalues"])
-            check_square(eigenvectors, dim, f"{what} eigenvectors")
-            if eigenvalues.shape != (dim,):
+            if eigenvalues.shape != (repr.dim,):
                 raise ValueError(
-                    f"layer {self.name!r}: {what} eigenvalues have shape {eigenvalues.shape}, expected {(dim,)}"
+                    f"layer {self.name!r}: {what} eigenvalues have shape {eigenvalues.shape}, "
+                    f"expected {(repr.dim,)}"
                 )
+            raw_vectors = value["eigenvectors"]
+            if repr.kind == "diagonal":
+                if raw_vectors is not None:
+                    raise ValueError(
+                        f"layer {self.name!r}: {what} eigenvectors must be None for a diagonal factor"
+                    )
+                eigenvectors = None
+            else:
+                eigenvectors = np.asarray(raw_vectors)
+                expected = (repr.dim, repr.dim) if repr.is_dense else repr.packed_shape
+                if eigenvectors.shape != expected:
+                    raise ValueError(
+                        f"layer {self.name!r}: {what} eigenvectors have shape {eigenvectors.shape}, "
+                        f"expected {expected}"
+                    )
+                eigenvectors = eigenvectors.astype(inverse_dtype)
             return EigenDecomposition(
-                eigenvectors=eigenvectors.astype(inverse_dtype), eigenvalues=eigenvalues.astype(inverse_dtype)
+                eigenvectors=eigenvectors, eigenvalues=eigenvalues.astype(inverse_dtype)
             )
 
-        self.factor_a = load_factor(state["factor_a"], self.a_dim, "A factor")
-        self.factor_g = load_factor(state["factor_g"], self.g_dim, "G factor")
-        self.eigen_a = load_eigen(state["eigen_a"], self.a_dim, "A")
-        self.eigen_g = load_eigen(state["eigen_g"], self.g_dim, "G")
+        self.factor_a = load_factor(state["factor_a"], self.a_repr, "A factor")
+        self.factor_g = load_factor(state["factor_g"], self.g_repr, "G factor")
+        self.eigen_a = load_eigen(state["eigen_a"], self.a_repr, "A")
+        self.eigen_g = load_eigen(state["eigen_g"], self.g_repr, "G")
         outer = state["inverse_outer"]
         if outer is None:
             self.inverse_outer = None
@@ -414,14 +511,18 @@ class KFACLayer:
         return total
 
     def expected_factor_bytes(self) -> int:
-        """Bytes the factors will occupy once computed (for the planning memory model)."""
+        """Bytes the factors will occupy once computed (for the planning memory model).
+
+        Uses the packed representation size — O(F) for diagonal factors — so
+        the memory model prices structured layers at their real footprint.
+        """
         itemsize = np.dtype(self.precision.factor_dtype).itemsize
-        return (self.a_dim ** 2 + self.g_dim ** 2) * itemsize
+        return (self.a_repr.packed_numel + self.g_repr.packed_numel) * itemsize
 
     def expected_eigen_bytes(self, include_outer: bool = True) -> int:
         """Bytes the eigen decompositions will occupy once computed."""
         itemsize = np.dtype(self.precision.inverse_dtype).itemsize
-        total = (self.a_dim ** 2 + self.a_dim + self.g_dim ** 2 + self.g_dim) * itemsize
+        total = (self.a_repr.packed_eigen_numel + self.g_repr.packed_eigen_numel) * itemsize
         if include_outer:
             total += self.a_dim * self.g_dim * itemsize
         return total
@@ -545,25 +646,20 @@ class KFACEmbeddingLayer(KFACLayer):
     activation factor is ``A = E[one_hot one_hotᵀ]`` — a diagonal matrix of
     token frequencies of size ``num_embeddings`` — and its gradient factor is
     built from the per-position gradients of the looked-up vectors.  The A
-    statistics are accumulated directly on the diagonal (via bincount) so the
-    one-hot rows are never materialised.
+    factor is stored in its natural diagonal representation (a length-V
+    vector of counts via bincount), so storage, allreduce bytes and the
+    "eigen" stage are all O(V) and production vocabularies (paper section
+    5.2 excluded them at V² cost) precondition end-to-end without a guard.
 
-    The factor is ``num_embeddings x num_embeddings``, which is why large
-    vocabularies are usually excluded from preconditioning (paper section
-    5.2); this handler makes small embedding tables a supported workload.
-    Tables larger than :data:`MAX_PRECONDITIONED_VOCAB` are skipped (the
-    pre-registry default for every embedding), so ``KFAC(model)`` on a
-    production-vocabulary model cannot silently allocate a vocab² factor;
-    raise the class attribute to opt in explicitly.
+    Set :attr:`g_block_size` (a class attribute, or on an instance before the
+    first accumulation) to approximate the ``embedding_dim x embedding_dim``
+    G factor as block-diagonal — the DeepFormer ``diag_blocks`` trick for
+    very wide embeddings.  ``None`` (default) keeps G dense.
     """
 
-    #: Largest ``num_embeddings`` preconditioned by default; beyond this the
-    #: O(V²) factor memory and O(V³) eigendecomposition dominate the model.
-    MAX_PRECONDITIONED_VOCAB = 4096
-
-    @classmethod
-    def supports(cls, module: Module) -> bool:
-        return module.num_embeddings <= cls.MAX_PRECONDITIONED_VOCAB
+    #: Optional block size for a block-diagonal G approximation; must divide
+    #: ``embedding_dim``.  ``None`` keeps the exact dense G.
+    g_block_size: Optional[int] = None
 
     @property
     def a_dim(self) -> int:
@@ -573,12 +669,26 @@ class KFACEmbeddingLayer(KFACLayer):
     def g_dim(self) -> int:
         return self.module.embedding_dim
 
+    def _a_repr_impl(self) -> FactorRepr:
+        return FactorRepr.diagonal(self.a_dim)
+
+    def _g_repr_impl(self) -> FactorRepr:
+        if self.g_block_size is None:
+            return FactorRepr.dense(self.g_dim)
+        return FactorRepr.block_diagonal(self.g_dim, int(self.g_block_size))
+
     def _accumulate_a(self, x: np.ndarray) -> None:
         ids = np.asarray(x).reshape(-1).astype(np.int64)
         counts = np.bincount(ids, minlength=self.module.num_embeddings).astype(np.float32)
-        if self._a_accum is None:
-            self._a_accum = np.zeros((self.a_dim, self.a_dim), dtype=np.float32)
-        np.einsum("ii->i", self._a_accum)[...] += counts  # diagonal view: no V x V temporary
+        if self.a_repr.is_dense:
+            # Forced-dense parity oracle: the historical diagonal-view update.
+            if self._a_accum is None:
+                self._a_accum = np.zeros((self.a_dim, self.a_dim), dtype=np.float32)
+            np.einsum("ii->i", self._a_accum)[...] += counts  # diagonal view: no V x V temporary
+        else:
+            if self._a_accum is None:
+                self._a_accum = np.zeros(self.a_dim, dtype=np.float32)
+            self._a_accum += counts
         self._a_count += ids.size
 
     def get_gradient(self) -> np.ndarray:
@@ -606,9 +716,12 @@ class KFACLayerNormLayer(KFACLayer):
     weight/bias homogeneous coordinate) — while the ``G`` statistics are
     accumulated *only on the diagonal* (per-feature second moments of the
     output gradient), so no feature-feature cross terms are estimated and the
-    eigen basis of ``G`` stays axis-aligned.  The gradient matrix is the
+    eigen basis of ``G`` stays axis-aligned.  G is therefore *stored* as its
+    diagonal (a length-``num_features`` vector): O(F) allreduce bytes and an
+    O(F) "eigen" stage instead of F²/F³.  The gradient matrix is the
     ``(num_features, 2)`` stack of ``[dL/dw, dL/db]`` columns, preconditioned
-    by the standard eigen machinery.
+    by the standard eigen machinery (forcing ``dense_factors`` restores the
+    historical dense-diagonal storage bitwise).
     """
 
     @property
@@ -618,6 +731,9 @@ class KFACLayerNormLayer(KFACLayer):
     @property
     def g_dim(self) -> int:
         return self.module.normalized_shape
+
+    def _g_repr_impl(self) -> FactorRepr:
+        return FactorRepr.diagonal(self.g_dim)
 
     def _accumulate_a(self, x: np.ndarray) -> None:
         # Recompute the normalized activations the affine transform consumes
@@ -638,10 +754,79 @@ class KFACLayerNormLayer(KFACLayer):
         # Undo the 1/N loss averaging, matching the dense handlers.
         rows = rows * rows.shape[0]
         squares = np.sum(rows.astype(np.float32) ** 2, axis=0)
-        if self._g_accum is None:
-            self._g_accum = np.zeros((self.g_dim, self.g_dim), dtype=np.float32)
-        np.einsum("ii->i", self._g_accum)[...] += squares  # diagonal view: no cross terms
-        self._g_count += rows.shape[0]
+        self._add_diagonal_g_stat(squares, rows.shape[0])
+
+    def get_gradient(self) -> np.ndarray:
+        weight_grad = self.module.weight.grad
+        if weight_grad is None:
+            raise RuntimeError(f"layer {self.name!r} has no weight gradient")
+        columns = [weight_grad.astype(np.float32, copy=False).reshape(-1, 1)]
+        if self.has_bias:
+            columns.append(self.module.bias.grad.astype(np.float32, copy=False).reshape(-1, 1))
+        return np.concatenate(columns, axis=1)
+
+    def set_gradient(self, matrix: np.ndarray) -> None:
+        weight = self.module.weight
+        weight.grad = matrix[:, 0].astype(weight.data.dtype, copy=False).reshape(weight.shape)
+        if self.has_bias:
+            bias = self.module.bias
+            bias.grad = matrix[:, 1].astype(bias.data.dtype, copy=False).reshape(bias.shape)
+
+
+@register_kfac_layer(BatchNorm2d)
+class KFACBatchNorm2dLayer(KFACLayer):
+    """K-FAC handler for :class:`~repro.nn.norm.BatchNorm2d` modules (diagonal G).
+
+    Like LayerNorm, the affine part ``y_c = w_c * x̂_c + b_c`` is an
+    elementwise scale-and-shift: every ``(sample, channel, spatial)`` element
+    contributes one activation row ``[x̂, 1]`` (dense 2x2 A factor) and the G
+    statistics are per-channel second moments stored as a diagonal vector.
+
+    The handler is *running-stat aware*: the Kronecker statistics are
+    recomputed from the pre-normalization batch statistics of the hook input
+    (mean/biased variance over the ``(N, H, W)`` axes — exactly what the
+    training-mode forward normalizes with), and the module's
+    ``running_mean``/``running_var`` buffers are never read or written here,
+    so preconditioning leaves the inference statistics untouched.
+    """
+
+    @classmethod
+    def supports(cls, module: Module) -> bool:
+        # Without the affine transform there are no parameters to precondition.
+        return bool(getattr(module, "affine", False))
+
+    @property
+    def a_dim(self) -> int:
+        return 1 + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self.module.num_features
+
+    def _g_repr_impl(self) -> FactorRepr:
+        return FactorRepr.diagonal(self.g_dim)
+
+    def _accumulate_a(self, x: np.ndarray) -> None:
+        # Recompute x-hat from batch statistics (the forward hook observes the
+        # module *input*); running buffers are deliberately not consulted.
+        x = np.asarray(x, dtype=np.float32)
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        centered = x - mean
+        var = np.mean(centered * centered, axis=(0, 2, 3), keepdims=True)
+        x_hat = centered / np.sqrt(var + self.module.eps)
+        rows = x_hat.reshape(-1, 1)
+        if self.has_bias:
+            ones = np.ones((rows.shape[0], 1), dtype=rows.dtype)
+            rows = np.concatenate([rows, ones], axis=1)
+        self._add_a_stat(rows)
+
+    def _accumulate_g(self, grad_output: np.ndarray) -> None:
+        n = grad_output.shape[0]
+        rows = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.g_dim)
+        # Undo the 1/N batch averaging of the loss (Conv2d convention).
+        rows = rows * n
+        squares = np.sum(rows.astype(np.float32) ** 2, axis=0)
+        self._add_diagonal_g_stat(squares, rows.shape[0])
 
     def get_gradient(self) -> np.ndarray:
         weight_grad = self.module.weight.grad
@@ -667,9 +852,16 @@ def make_kfac_layer(
     should_accumulate: Callable[[], bool],
     grad_scale: Callable[[], float],
     kernels: Optional[KernelBackend] = None,
+    dense_factors: bool = False,
 ) -> Optional[KFACLayer]:
-    """Create the registered handler for ``module`` or ``None`` if unsupported."""
+    """Create the registered handler for ``module`` or ``None`` if unsupported.
+
+    ``dense_factors=True`` forces the dense representation on structured
+    handlers (the parity oracle; see :attr:`KFACConfig.dense_factors`).
+    """
     handler_cls = resolve_kfac_layer(module)
     if handler_cls is None or not handler_cls.supports(module):
         return None
-    return handler_cls(name, module, precision, should_accumulate, grad_scale, kernels=kernels)
+    return handler_cls(
+        name, module, precision, should_accumulate, grad_scale, kernels=kernels, dense_factors=dense_factors
+    )

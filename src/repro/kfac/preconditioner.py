@@ -71,7 +71,6 @@ from .kmath import kl_clip_scale_from_total, tikhonov_pi
 from .layers import KFACLayer, make_kfac_layer
 from .scheduling import AdaptiveDampingController, FactorUpdateScheduler, SolveStrategy, make_solve_strategy
 from .strategy import DistributionStrategy, LayerWorkGroups
-from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 __all__ = ["KFAC"]
 
@@ -96,6 +95,7 @@ class KFAC(Preconditioner):
         assignment_balance: Optional[str] = None,
         compute_eigen_outer: bool = True,
         triangular_comm: bool = False,
+        dense_factors: Optional[bool] = None,
         comm_overlap: Optional[bool] = None,
         bucket_cap_mb: Union[float, str, None] = None,
         adaptive_schedule: Optional[bool] = None,
@@ -141,6 +141,7 @@ class KFAC(Preconditioner):
         # Adaptive-scheduling knobs: None defers to the KFACConfig defaults
         # (including the REPRO_ADAPTIVE environment toggle).
         for key, value in (
+            ("dense_factors", dense_factors),
             ("adaptive_schedule", adaptive_schedule),
             ("drift_tol", drift_tol),
             ("max_staleness", max_staleness),
@@ -183,6 +184,7 @@ class KFAC(Preconditioner):
         self.comm = comm if comm is not None else SingleProcessCommunicator()
         self.compute_eigen_outer = config.compute_eigen_outer
         self.triangular_comm = config.triangular_comm
+        self.dense_factors = config.dense_factors
         self.comm_overlap = config.comm_overlap
         self.bucket_cap_mb = config.bucket_cap_mb  # may be the string "auto"
         self.profiler = profiler
@@ -229,6 +231,13 @@ class KFAC(Preconditioner):
         self._register_model(model)
         if not self.layers:
             raise ValueError("model contains no K-FAC-supported layers to precondition")
+        # Every collective payload shape below is a function of the per-layer
+        # factor representations, so the sanitizer checks this signature is
+        # rank-invariant before the first schedule is posted.
+        self._repr_signature = tuple(
+            (name, layer.a_repr.describe(), layer.g_repr.describe())
+            for name, layer in self.layers.items()
+        )
         self.groups: Dict[str, LayerWorkGroups] = self.strategy.assign(
             [layer.shape_info() for layer in self.layers.values()]
         )
@@ -292,9 +301,11 @@ class KFAC(Preconditioner):
         itemsize = np.dtype(self.precision.factor_dtype).itemsize
         tensor_nbytes = []
         for layer in self.layers.values():
-            for n in (layer.a_dim, layer.g_dim):
-                elems = triangular_size(n) if self.triangular_comm else n * n
-                tensor_nbytes.append(elems * itemsize)
+            for repr_ in (layer.a_repr, layer.g_repr):
+                # Size the cap from the *wire* payloads: structured factors
+                # travel packed (O(F) for diagonal), dense optionally as the
+                # upper triangle.
+                tensor_nbytes.append(repr_.comm_numel(self.triangular_comm) * itemsize)
         return choose_bucket_cap(EDR_INFINIBAND, tensor_nbytes, world_size=self.comm.world_size)
 
     # ----------------------------------------------------------- construction
@@ -354,6 +365,7 @@ class KFAC(Preconditioner):
                 should_accumulate=lambda layer_name=layer_name: self._should_accumulate(layer_name),
                 grad_scale=self._current_grad_scale,
                 kernels=self.kernels,
+                dense_factors=self.dense_factors,
             )
             if layer is not None:
                 self.layers[layer.name] = layer
@@ -438,6 +450,11 @@ class KFAC(Preconditioner):
             # reports say *where* each rank was, not just what it posted.
             sanitizer.attach_tracer(self.rank, self.tracer)
             sanitizer.set_phase(self.rank, f"kfac/step:{self._steps}")
+            if self._steps == 0:
+                # A rank disagreeing on any factor representation would post
+                # differently-shaped collective payloads; surface that here
+                # as a named divergence instead of a buffer-size crash.
+                sanitizer.check_consistent(self.rank, "kfac/reprs", self._repr_signature)
         with self.tracer.span("kfac/step", category="kfac", step=self._steps):
             if self.factor_scheduler is not None:
                 self._step_scheduled(loss)
@@ -519,7 +536,9 @@ class KFAC(Preconditioner):
             # acting on it, so a divergence surfaces here instead of as a
             # mismatched collective schedule downstream.
             sanitizer.check_consistent(
-                self.rank, f"kfac/plan:{step}", (sched.plan_fingerprint(step), self.damping)
+                self.rank,
+                f"kfac/plan:{step}",
+                (sched.plan_fingerprint(step), self.damping, self._repr_signature),
             )
 
         second_layers = [name for name in self.layers if sched.second_order_due(name, step)]
@@ -632,19 +651,16 @@ class KFAC(Preconditioner):
             return
         for name in self._layer_subset(names):
             layer = self.layers[name]
-            factor_a, factor_g = layer.factor_a, layer.factor_g
-            if self.triangular_comm:
-                packed_a = self.comm.allreduce_average(pack_upper_triangle(factor_a))
-                packed_g = self.comm.allreduce_average(pack_upper_triangle(factor_g))
-                layer.set_factors(
-                    unpack_upper_triangle(packed_a, factor_a.shape[0]),
-                    unpack_upper_triangle(packed_g, factor_g.shape[0]),
-                )
-            else:
-                layer.set_factors(
-                    self.comm.allreduce_average(factor_a),
-                    self.comm.allreduce_average(factor_g),
-                )
+            a_repr, g_repr = layer.a_repr, layer.g_repr
+            # Each factor travels in its repr's wire form: dense optionally as
+            # the packed upper triangle, structured factors as their (already
+            # packed) storage — O(F) on the wire for diagonal layers.
+            reduced_a = self.comm.allreduce_average(a_repr.pack_comm(layer.factor_a, self.triangular_comm))
+            reduced_g = self.comm.allreduce_average(g_repr.pack_comm(layer.factor_g, self.triangular_comm))
+            layer.set_factors(
+                a_repr.unpack_comm(reduced_a, self.triangular_comm),
+                g_repr.unpack_comm(reduced_g, self.triangular_comm),
+            )
 
     def _allreduce_factors_fused(self, names: Optional[Sequence[str]] = None) -> None:
         """Factor allreduce through the bucketed engine (bitwise-identical).
@@ -694,16 +710,29 @@ class KFAC(Preconditioner):
                 return False
             for which in which_list:
                 tasks.append((name, which))
+        compute = self.precision.compute_dtype
+        store = self.precision.inverse_dtype
         shape_groups: Dict[tuple, List[tuple]] = {}
+        structured_count = 0
         for name, which in tasks:
             layer = self.layers[name]
             factor = layer.factor_a if which == "a" else layer.factor_g
             if factor is None:
                 raise RuntimeError(f"layer {name!r} has no {which.upper()} factor to decompose")
+            repr_ = layer.factor_repr(which)
+            if not repr_.is_dense:
+                # Structured factors have their own fast path (a spectrum
+                # clamp for diagonal, a per-block batch for block-diagonal)
+                # and never enter the square shape-grouped batches below.
+                decomposition = self.kernels.structured_eigen(factor, repr_, compute_dtype=compute)
+                if which == "a":
+                    layer.eigen_a = decomposition.astype(store)
+                else:
+                    layer.eigen_g = decomposition.astype(store)
+                structured_count += 1
+                continue
             key = (factor.shape, factor.dtype.str)
             shape_groups.setdefault(key, []).append((name, which))
-        compute = self.precision.compute_dtype
-        store = self.precision.inverse_dtype
         batch_sizes: List[int] = []
         for members in shape_groups.values():
             factors = []
@@ -726,6 +755,7 @@ class KFAC(Preconditioner):
                 backend=self.kernels.name,
                 op="batched_symmetric_eigen",
                 factors=len(tasks),
+                structured=structured_count,
                 batches=len(batch_sizes),
                 batch_sizes=batch_sizes,
             )

@@ -34,7 +34,14 @@ _DRIFT_EPS = 1e-12
 
 
 def factor_drift(new: np.ndarray, old: np.ndarray) -> float:
-    """Normalized Frobenius change ``||new - old||_F / ||old||_F`` (float64)."""
+    """Normalized Frobenius change ``||new - old||_F / ||old||_F`` (float64).
+
+    Shape-agnostic: factors arrive in their stored representation (dense
+    ``(n, n)``, diagonal ``(n,)`` or block-diagonal ``(blocks, bs, bs)``
+    packed arrays, :class:`~repro.kfac.factors.FactorRepr`), and since the
+    packed form holds exactly the nonzero entries, the Frobenius norm over it
+    equals the norm over the equivalent dense matrix.
+    """
     old64 = old.astype(np.float64)
     new64 = new.astype(np.float64)
     denom = float(np.linalg.norm(old64)) + _DRIFT_EPS

@@ -36,8 +36,8 @@ import numpy as np
 
 from ..distributed.collectives import BroadcastSpec
 from .assignment import greedy_lpt_assignment
+from .factors import FactorRepr
 from .kmath import EigenDecomposition, eigenvalue_outer_product
-from .triangular import pack_upper_triangle, triangular_size, unpack_upper_triangle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from ..distributed.backend import Communicator
@@ -54,18 +54,26 @@ __all__ = [
     "broadcast_eigen_packed",
     "pack_eigen",
     "unpack_eigen",
+    "unpack_eigen_repr",
 ]
 
 
 def pack_eigen(eigen: EigenDecomposition, dtype=np.float32) -> np.ndarray:
-    """Pack an eigen decomposition into one flat ``n + n*n`` buffer in ``dtype``."""
-    return np.concatenate(
-        [eigen.eigenvalues.astype(dtype).reshape(-1), eigen.eigenvectors.astype(dtype).reshape(-1)]
-    )
+    """Pack an eigen decomposition into one flat buffer in ``dtype``.
+
+    The buffer is the eigenvalues followed by the stored eigenvectors —
+    ``n + n*n`` elements for a dense factor, ``n`` for a diagonal one (the
+    identity eigenbasis is implicit and never hits the wire) and
+    ``n + num_blocks*bs²`` for a block-diagonal stack.
+    """
+    parts = [eigen.eigenvalues.astype(dtype).reshape(-1)]
+    if eigen.eigenvectors is not None:
+        parts.append(eigen.eigenvectors.astype(dtype).reshape(-1))
+    return np.concatenate(parts)
 
 
 def unpack_eigen(packed: np.ndarray, n: int, dtype=np.float32) -> EigenDecomposition:
-    """Inverse of :func:`pack_eigen` for a known dimension ``n``."""
+    """Inverse of :func:`pack_eigen` for a *dense* factor of dimension ``n``."""
     if packed.size != n + n * n:
         raise ValueError(f"packed eigen buffer has {packed.size} elements, expected {n + n * n}")
     eigenvalues = packed[:n].astype(dtype)
@@ -73,24 +81,69 @@ def unpack_eigen(packed: np.ndarray, n: int, dtype=np.float32) -> EigenDecomposi
     return EigenDecomposition(eigenvectors=eigenvectors, eigenvalues=eigenvalues)
 
 
+def unpack_eigen_repr(packed: np.ndarray, repr: FactorRepr, dtype=np.float32) -> EigenDecomposition:
+    """Inverse of :func:`pack_eigen` for a factor in representation ``repr``."""
+    expected = repr.packed_eigen_numel
+    if packed.size != expected:
+        raise ValueError(
+            f"packed eigen buffer has {packed.size} elements, expected {expected} for {repr.describe()}"
+        )
+    eigenvalues = packed[: repr.dim].astype(dtype)
+    if repr.kind == "diagonal":
+        eigenvectors = None
+    elif repr.kind == "dense":
+        eigenvectors = packed[repr.dim :].reshape(repr.dim, repr.dim).astype(dtype)
+    else:
+        eigenvectors = packed[repr.dim :].reshape(repr.packed_shape).astype(dtype)
+    return EigenDecomposition(eigenvectors=eigenvectors, eigenvalues=eigenvalues)
+
+
 @dataclass(frozen=True)
 class LayerShapeInfo:
-    """Shape information a strategy needs about one K-FAC-preconditioned layer."""
+    """Shape information a strategy needs about one K-FAC-preconditioned layer.
+
+    ``a_repr``/``g_repr`` carry the factor representations; they default to
+    dense (``None`` in the constructor keeps every pre-structured call site
+    working), in which case all costs reduce to the historical dense
+    formulas bit for bit.
+    """
 
     name: str
     a_dim: int  # dimension of the A (activation) Kronecker factor
     g_dim: int  # dimension of the G (gradient) Kronecker factor
     grad_numel: int  # number of elements in the (bias-folded) gradient matrix
+    a_repr: Optional[FactorRepr] = None
+    g_repr: Optional[FactorRepr] = None
+
+    def __post_init__(self) -> None:
+        if self.a_repr is None:
+            object.__setattr__(self, "a_repr", FactorRepr.dense(self.a_dim))
+        if self.g_repr is None:
+            object.__setattr__(self, "g_repr", FactorRepr.dense(self.g_dim))
+        for which, repr in (("a", self.a_repr), ("g", self.g_repr)):
+            dim = self.a_dim if which == "a" else self.g_dim
+            if repr.dim != dim:
+                raise ValueError(
+                    f"layer {self.name!r}: {which}_repr {repr.describe()} does not match "
+                    f"{which}_dim={dim}"
+                )
 
     @property
     def eigen_cost(self) -> float:
-        """O(N^3) eigen-decomposition cost proxy used by the LPT scheduler."""
-        return float(self.a_dim) ** 3 + float(self.g_dim) ** 3
+        """Per-repr eigen-decomposition cost proxy used by the LPT scheduler.
+
+        Dense keeps the historical O(N³); diagonal is O(N) and
+        block-diagonal O(num_blocks · bs³).
+        """
+        return self.a_repr.eigen_flops() + self.g_repr.eigen_flops()
 
     @property
     def memory_cost(self) -> float:
-        """O(N^2) storage cost proxy (alternative balancing objective)."""
-        return float(self.a_dim) ** 2 + float(self.g_dim) ** 2
+        """Packed storage cost proxy (alternative balancing objective)."""
+        return float(self.a_repr.packed_numel) + float(self.g_repr.packed_numel)
+
+    def factor_repr(self, which: str) -> FactorRepr:
+        return self.a_repr if which == "a" else self.g_repr
 
 
 @dataclass
@@ -136,13 +189,16 @@ def broadcast_eigen_packed(
     src: int,
     group: Optional[Sequence[int]],
     dtype=np.float32,
+    repr: Optional[FactorRepr] = None,
 ) -> EigenDecomposition:
     """Broadcast an eigen decomposition as a single packed buffer in ``dtype``.
 
     ``dtype`` should be the precision policy's inverse dtype so a fp64 (or
-    fp16) policy is not silently truncated to float32 on the wire.  The
-    dimension is recovered from the buffer length (``len = n + n*n``) instead
-    of a header value, so no dtype has to represent ``n`` exactly.
+    fp16) policy is not silently truncated to float32 on the wire.  ``repr``
+    names the factor representation and sizes the O(F) structured payloads;
+    when ``None`` (the legacy dense protocol) the dimension is recovered from
+    the buffer length (``len = n + n*n``) instead of a header value, so no
+    dtype has to represent ``n`` exactly.
     """
     group_size = len(group) if group is not None else comm.world_size
     if group_size <= 1:
@@ -156,6 +212,8 @@ def broadcast_eigen_packed(
     else:
         packed = None
     received = comm.broadcast(packed, src=src, group=group)
+    if repr is not None:
+        return unpack_eigen_repr(received, repr, dtype)
     n = (math.isqrt(4 * received.size + 1) - 1) // 2
     if n * (n + 1) != received.size:
         raise RuntimeError(f"packed eigen buffer of length {received.size} is not n + n*n for any n")
@@ -176,13 +234,13 @@ def _packed_eigen_spec(
     :func:`broadcast_eigen_packed` and installs the unpacked decomposition
     into ``layer.eigen_a`` / ``layer.eigen_g`` on completion.
     """
-    n = layer.a_dim if which == "a" else layer.g_dim
+    repr = layer.factor_repr(which)
     eigen = layer.eigen_a if which == "a" else layer.eigen_g
     if is_src and eigen is None:
         raise RuntimeError("source rank does not hold the eigen decomposition to broadcast")
 
     def install(flat: np.ndarray) -> None:
-        decomposition = unpack_eigen(flat, n, dtype)
+        decomposition = unpack_eigen_repr(flat, repr, dtype)
         if which == "a":
             layer.eigen_a = decomposition
         else:
@@ -192,7 +250,8 @@ def _packed_eigen_spec(
         key=f"{layer.name}/eigen_{which}",
         src=src,
         group=group,
-        shape=(n + n * n,),
+        # Packed payload: n + n*n for dense, just n for diagonal factors.
+        shape=(repr.packed_eigen_numel,),
         dtype=dtype,
         payload=pack_eigen(eigen, dtype) if is_src else None,
         on_complete=install,
@@ -205,9 +264,9 @@ def _compute_single_eigen(layer: "KFACLayer", which: str, precision) -> EigenDec
         raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor")
     # Route through the layer's kernel backend so per-factor placement
     # (COMM-OPT) uses the same eigen kernel as layer.compute_eigen().
-    return layer.kernels.symmetric_eigen(factor, compute_dtype=precision.compute_dtype).astype(
-        precision.inverse_dtype
-    )
+    return layer.kernels.structured_eigen(
+        factor, layer.factor_repr(which), compute_dtype=precision.compute_dtype
+    ).astype(precision.inverse_dtype)
 
 
 class DistributionStrategy:
@@ -344,19 +403,21 @@ class DistributionStrategy:
         pipeline, which differ only in *when* the entries are posted.
         ``pack`` reads the layer's current running factor at posting time;
         ``install`` collects both reduced factors and writes them back via
-        :meth:`KFACLayer.set_factors` once the pair arrived.  A
-        topology-aware strategy can override this to route factor traffic
-        over sub-groups.
+        :meth:`KFACLayer.set_factors` once the pair arrived.  Structured
+        factors travel in their packed form — O(F) bytes for a diagonal
+        factor, never the dense F² — and the bucket manager fuses on the
+        flattened packed sizes.  A topology-aware strategy can override this
+        to route factor traffic over sub-groups.
         """
         dtype = np.dtype(pre.precision.factor_dtype)
         received: Dict[str, np.ndarray] = {}
 
-        def make_pack(which: str) -> Callable[[], np.ndarray]:
+        def make_pack(which: str, repr: FactorRepr) -> Callable[[], np.ndarray]:
             def pack() -> np.ndarray:
                 factor = layer.factor_a if which == "a" else layer.factor_g
                 if factor is None:
                     raise RuntimeError(f"layer {layer.name!r} has no {which.upper()} factor to allreduce")
-                return pack_upper_triangle(factor) if pre.triangular_comm else factor
+                return repr.pack_comm(factor, pre.triangular_comm)
 
             return pack
 
@@ -364,23 +425,25 @@ class DistributionStrategy:
             def install(array: np.ndarray) -> None:
                 received[which] = array
                 if len(received) == 2:
-                    result_a, result_g = received["a"], received["g"]
-                    if pre.triangular_comm:
-                        layer.set_factors(
-                            unpack_upper_triangle(result_a, layer.a_dim),
-                            unpack_upper_triangle(result_g, layer.g_dim),
-                        )
-                    else:
-                        layer.set_factors(result_a, result_g)
+                    layer.set_factors(
+                        layer.a_repr.unpack_comm(received["a"], pre.triangular_comm),
+                        layer.g_repr.unpack_comm(received["g"], pre.triangular_comm),
+                    )
                     received.clear()
 
             return install
 
         entries = []
-        for which, n in (("a", layer.a_dim), ("g", layer.g_dim)):
-            shape = (triangular_size(n),) if pre.triangular_comm else (n, n)
+        for which in ("a", "g"):
+            repr = layer.factor_repr(which)
             entries.append(
-                (f"{layer.name}/factor_{which}", shape, dtype, make_pack(which), make_install(which))
+                (
+                    f"{layer.name}/factor_{which}",
+                    repr.comm_shape(pre.triangular_comm),
+                    dtype,
+                    make_pack(which, repr),
+                    make_install(which),
+                )
             )
         return entries
 
@@ -451,12 +514,14 @@ class CommOptStrategy(DistributionStrategy):
         world = self.world_size
         factor_costs: Dict[Tuple[str, str], float] = {}
         for layer in layers:
+            # Per-repr costs: identical to the historical dense n²/n³ for
+            # dense factors, O(n) / O(num_blocks·bs³) for structured ones.
             if self.balance == "memory":
-                factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 2
-                factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 2
+                factor_costs[(layer.name, "A")] = float(layer.a_repr.packed_numel)
+                factor_costs[(layer.name, "G")] = float(layer.g_repr.packed_numel)
             else:
-                factor_costs[(layer.name, "A")] = float(layer.a_dim) ** 3
-                factor_costs[(layer.name, "G")] = float(layer.g_dim) ** 3
+                factor_costs[(layer.name, "A")] = layer.a_repr.eigen_flops()
+                factor_costs[(layer.name, "G")] = layer.g_repr.eigen_flops()
         result = greedy_lpt_assignment(factor_costs, world)
         all_ranks = tuple(range(world))
         groups: Dict[str, LayerWorkGroups] = {}
@@ -494,8 +559,12 @@ class CommOptStrategy(DistributionStrategy):
 
     def broadcast_eigen(self, layer: "KFACLayer", group: LayerWorkGroups, pre: "KFAC") -> None:
         dtype = pre.precision.inverse_dtype
-        layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, group.eigen_worker_a, None, dtype)
-        layer.eigen_g = broadcast_eigen_packed(pre.comm, layer.eigen_g, group.eigen_worker_g, None, dtype)
+        layer.eigen_a = broadcast_eigen_packed(
+            pre.comm, layer.eigen_a, group.eigen_worker_a, None, dtype, repr=layer.a_repr
+        )
+        layer.eigen_g = broadcast_eigen_packed(
+            pre.comm, layer.eigen_g, group.eigen_worker_g, None, dtype, repr=layer.g_repr
+        )
         if pre.compute_eigen_outer:
             layer.inverse_outer = eigenvalue_outer_product(
                 layer.eigen_a, layer.eigen_g, pre.damping, dtype=dtype, pi=pre.damping_pi(layer)
@@ -624,8 +693,12 @@ class HybridOptStrategy(DistributionStrategy):
         dtype = pre.precision.inverse_dtype
         bcast_group = group.grad_workers
         src = group.eigen_worker
-        layer.eigen_a = broadcast_eigen_packed(pre.comm, layer.eigen_a, src, bcast_group, dtype)
-        layer.eigen_g = broadcast_eigen_packed(pre.comm, layer.eigen_g, src, bcast_group, dtype)
+        layer.eigen_a = broadcast_eigen_packed(
+            pre.comm, layer.eigen_a, src, bcast_group, dtype, repr=layer.a_repr
+        )
+        layer.eigen_g = broadcast_eigen_packed(
+            pre.comm, layer.eigen_g, src, bcast_group, dtype, repr=layer.g_repr
+        )
         if pre.compute_eigen_outer:
             if len(bcast_group) <= 1:
                 outer = layer.inverse_outer

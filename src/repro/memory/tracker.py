@@ -133,11 +133,20 @@ class KFACMemoryModel:
 
     # ------------------------------------------------------------- components
     def factor_bytes(self) -> int:
-        """Bytes of all Kronecker factors held by every rank."""
-        return sum((l.a_dim ** 2 + l.g_dim ** 2) * self.factor_dtype_bytes for l in self.layers)
+        """Bytes of all Kronecker factors held by every rank.
+
+        Each factor is charged at its stored (packed) size: ``n²`` elements
+        for dense, ``n`` for diagonal, ``blocks·bs²`` for block-diagonal —
+        matching the arrays the handlers actually allocate.
+        """
+        return sum(
+            (l.a_repr.packed_numel + l.g_repr.packed_numel) * self.factor_dtype_bytes for l in self.layers
+        )
 
     def eigen_bytes_for_layer(self, layer: LayerShapeInfo) -> int:
-        total = (layer.a_dim ** 2 + layer.a_dim + layer.g_dim ** 2 + layer.g_dim) * self.eigen_dtype_bytes
+        # Eigenvalues + stored eigenvectors per factor; a diagonal factor's
+        # identity eigenbasis is implicit and costs nothing.
+        total = (layer.a_repr.packed_eigen_numel + layer.g_repr.packed_eigen_numel) * self.eigen_dtype_bytes
         if self.include_outer_product:
             total += layer.a_dim * layer.g_dim * self.eigen_dtype_bytes
         return total

@@ -501,8 +501,10 @@ class TestEmbeddingLayer:
         module(ids).sum().backward()
         a_new, g_new = handler.compute_batch_factors()
         counts = np.bincount(ids.ravel(), minlength=7).astype(np.float64)
-        np.testing.assert_allclose(np.diag(a_new), counts / ids.size, rtol=1e-6)
-        assert np.count_nonzero(a_new - np.diag(np.diag(a_new))) == 0
+        # A is exactly diagonal, so the handler stores the packed vector.
+        assert a_new.shape == (7,)
+        assert handler.a_repr.kind == "diagonal"
+        np.testing.assert_allclose(a_new, counts / ids.size, rtol=1e-6)
         assert g_new.shape == (3, 3)
 
     def test_gradient_round_trip(self):
@@ -515,10 +517,18 @@ class TestEmbeddingLayer:
         handler.set_gradient(grad * 0.5)
         np.testing.assert_allclose(module.weight.grad, grad.T * 0.5, rtol=1e-6)
 
-    def test_oversized_vocab_is_skipped_by_default(self):
-        """KFAC(model) must not silently allocate a vocab² factor for big tables."""
-        big = nn.Embedding(KFACEmbeddingLayer.MAX_PRECONDITIONED_VOCAB + 1, 4, rng=np.random.default_rng(0))
-        assert make_kfac_layer("big", big, PrecisionPolicy.fp32(), lambda: True, lambda: 1.0) is None
+    def test_oversized_vocab_is_preconditioned_diagonally(self):
+        """Big tables get an O(V) diagonal A factor instead of being skipped.
+
+        The old vocab-size guard existed to avoid allocating a dense vocab²
+        factor; with the diagonal representation the factor is a vector, so
+        even huge embedding tables are preconditioned.
+        """
+        vocab = 32768
+        big = nn.Embedding(vocab, 4, rng=np.random.default_rng(0))
+        handler = make_kfac_layer("big", big, PrecisionPolicy.fp32(), lambda: True, lambda: 1.0)
+        assert isinstance(handler, KFACEmbeddingLayer)
+        assert handler.a_repr.kind == "diagonal" and handler.a_repr.dim == vocab
 
         class WithBigEmbedding(nn.Module):
             def __init__(self):
@@ -527,10 +537,20 @@ class TestEmbeddingLayer:
                 self.head = nn.Linear(4, 2, rng=np.random.default_rng(1))
 
             def forward(self, ids):
-                return self.head(self.embedding(ids))
+                return self.head(self.embedding(ids).mean(axis=1))
 
-        pre = KFAC(WithBigEmbedding())
-        assert not any(isinstance(l, KFACEmbeddingLayer) for l in pre.layers.values())
+        pre = KFAC(WithBigEmbedding(), factor_update_freq=1, inv_update_freq=1)
+        assert any(isinstance(l, KFACEmbeddingLayer) for l in pre.layers.values())
+        ids = np.random.default_rng(2).integers(0, vocab, (8, 5))
+        labels = np.random.default_rng(3).integers(0, 2, 8)
+        model = pre.model
+        loss = nn.CrossEntropyLoss()(model(ids), labels)
+        loss.backward()
+        pre.step()
+        # Factor memory for the table is O(V), not O(V²).
+        emb_layer = next(l for l in pre.layers.values() if isinstance(l, KFACEmbeddingLayer))
+        assert emb_layer.factor_a.shape == (vocab,)
+        assert np.all(np.isfinite(model.embedding.weight.grad))
 
     def test_full_preconditioned_step_on_embedding_model(self):
         """Embedding preconditioning end-to-end: the new-workload proof."""

@@ -59,7 +59,9 @@ class TestHandlerCreation:
         assert handler.g_dim == 4
 
     def test_unsupported_module_returns_none(self):
-        assert make_kfac_layer("bn", nn.BatchNorm2d(4), PrecisionPolicy.fp32(), lambda: True, lambda: 1.0) is None
+        # Affine BatchNorm2d is supported now; a norm without parameters is not.
+        bn = nn.BatchNorm2d(4, affine=False)
+        assert make_kfac_layer("bn", bn, PrecisionPolicy.fp32(), lambda: True, lambda: 1.0) is None
 
     def test_shape_info(self):
         _, handler = make_linear_handler(5, 7)

@@ -60,7 +60,7 @@ class TestConstruction:
 
     def test_model_without_supported_layers_raises(self):
         with pytest.raises(ValueError):
-            KFAC(nn.BatchNorm2d(4))
+            KFAC(nn.BatchNorm2d(4, affine=False))
 
     def test_invalid_hyperparameters(self):
         model = MLP(4, [8], 2, rng=RNG)
